@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A persistent key-value store on /dev/nvdc0 — the in-memory-database
+ * scenario the paper's introduction motivates, including crash
+ * recovery through the FPGA's power-fail dump (paper §V-C).
+ *
+ * The store maps fixed-size records onto device pages, writes them
+ * through the nvdc driver (so hot records live in the DRAM cache at
+ * DRAM speed), then the demo pulls the plug and verifies every
+ * committed record survives in the Z-NAND.
+ *
+ *   $ ./examples/kvstore
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/power.hh"
+#include "core/system.hh"
+
+using namespace nvdimmc;
+
+namespace
+{
+
+/** A toy fixed-slot KV store over the byte-addressable device. */
+class KvStore
+{
+  public:
+    static constexpr std::uint32_t kRecordBytes = 4096;
+    static constexpr std::uint32_t kKeyBytes = 64;
+
+    explicit KvStore(core::NvdimmcSystem& sys) : sys_(sys) {}
+
+    void
+    put(const std::string& key, const std::string& value)
+    {
+        std::vector<std::uint8_t> rec(kRecordBytes, 0);
+        std::snprintf(reinterpret_cast<char*>(rec.data()), kKeyBytes,
+                      "%s", key.c_str());
+        std::snprintf(reinterpret_cast<char*>(rec.data()) + kKeyBytes,
+                      kRecordBytes - kKeyBytes, "%s", value.c_str());
+        Addr addr = slotFor(key) * kRecordBytes;
+        bool done = false;
+        sys_.driver().write(addr, kRecordBytes, rec.data(),
+                            [&] { done = true; });
+        while (!done && sys_.eq().runOne()) {
+        }
+    }
+
+    std::string
+    get(const std::string& key)
+    {
+        std::vector<std::uint8_t> rec(kRecordBytes, 0);
+        Addr addr = slotFor(key) * kRecordBytes;
+        bool done = false;
+        sys_.driver().read(addr, kRecordBytes, rec.data(),
+                           [&] { done = true; });
+        while (!done && sys_.eq().runOne()) {
+        }
+        if (std::strncmp(reinterpret_cast<char*>(rec.data()),
+                         key.c_str(), kKeyBytes) != 0) {
+            return "<missing>";
+        }
+        return reinterpret_cast<char*>(rec.data()) + kKeyBytes;
+    }
+
+    /** Post-crash: read a record straight from the NVM backend. */
+    std::string
+    getFromNvm(const std::string& key)
+    {
+        std::vector<std::uint8_t> rec(kRecordBytes, 0);
+        bool done = false;
+        sys_.backend().readPage(slotFor(key), rec.data(),
+                                [&] { done = true; });
+        while (!done && sys_.eq().runOne()) {
+        }
+        if (std::strncmp(reinterpret_cast<char*>(rec.data()),
+                         key.c_str(), kKeyBytes) != 0) {
+            return "<missing>";
+        }
+        return reinterpret_cast<char*>(rec.data()) + kKeyBytes;
+    }
+
+  private:
+    std::uint64_t
+    slotFor(const std::string& key) const
+    {
+        std::uint64_t h = 1469598103934665603ull;
+        for (char c : key)
+            h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+        std::uint64_t slots =
+            sys_.driver().capacityBytes() / kRecordBytes;
+        return h % slots;
+    }
+
+    core::NvdimmcSystem& sys_;
+};
+
+} // namespace
+
+int
+main()
+{
+    core::SystemConfig cfg = core::SystemConfig::scaledTest();
+    core::NvdimmcSystem sys(cfg);
+    KvStore kv(sys);
+
+    std::printf("-- populating the store --\n");
+    kv.put("user:1001", "alice");
+    kv.put("user:1002", "bob");
+    kv.put("config:mode", "production");
+    kv.put("counter:visits", "42");
+
+    std::printf("get user:1001     -> %s\n",
+                kv.get("user:1001").c_str());
+    std::printf("get config:mode   -> %s\n",
+                kv.get("config:mode").c_str());
+
+    // Let metadata stores drain into the DRAM array so the firmware
+    // dump sees a consistent map.
+    sys.eq().runFor(200 * kUs);
+
+    std::printf("\n-- power failure! --\n");
+    core::PowerFailureScenario sc;
+    sc.adrWorks = true;
+    auto report = core::simulatePowerFailure(sys, sc);
+    std::printf("ADR flushed %zu WPQ stores; firmware dumped %zu "
+                "dirty pages to Z-NAND\n",
+                report.wpqFlushed, report.pagesDumped);
+
+    std::printf("\n-- recovery: reading records from the NVM --\n");
+    int survived = 0;
+    for (const char* key : {"user:1001", "user:1002", "config:mode",
+                            "counter:visits"}) {
+        std::string v = kv.getFromNvm(key);
+        std::printf("  %-15s -> %s\n", key, v.c_str());
+        if (v != "<missing>")
+            ++survived;
+    }
+    std::printf("\n%d/4 records survived the crash\n", survived);
+    return survived == 4 ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Design-space exploration with the public API: sweep the DRAM-cache
+ * replacement policy and the backend media, and print a table of
+ * uncached 4 KB random-read performance — the study behind the
+ * paper's §VII-C/§VII-D "what would fix the Uncached slowdown"
+ * discussion.
+ *
+ *   $ ./examples/policy_explorer
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hh"
+#include "workload/fio.hh"
+
+using namespace nvdimmc;
+
+namespace
+{
+
+double
+measureUncached(const std::string& policy, core::MediaKind media,
+                nvmc::FirmwareConfig fw)
+{
+    core::SystemConfig cfg = core::SystemConfig::scaledBench();
+    cfg.driver.policy = policy;
+    cfg.media = media;
+    cfg.mediaBytes = 4 * kGiB;
+    cfg.nvmc.firmware = fw;
+    core::NvdimmcSystem sys(cfg);
+    sys.precondition(0, sys.layout().slotCount(), true);
+    sys.driver().markEverWritten(0, sys.backend().pageCount());
+
+    workload::FioConfig fio;
+    fio.pattern = workload::FioConfig::Pattern::RandRead;
+    fio.blockSize = 4096;
+    fio.threads = 2;
+    Addr base = std::uint64_t{sys.layout().slotCount() + 128} * 4096;
+    fio.regionOffset = base;
+    fio.regionBytes = sys.driver().capacityBytes() - base;
+    fio.rampTime = 5 * kMs;
+    fio.runTime = 60 * kMs;
+
+    workload::FioJob job(
+        sys.eq(),
+        [&sys](Addr off, std::uint32_t len, bool is_write,
+               std::function<void()> done) {
+            if (is_write)
+                sys.driver().write(off, len, nullptr, std::move(done));
+            else
+                sys.driver().read(off, len, nullptr, std::move(done));
+        },
+        fio);
+    return job.run().mbps;
+}
+
+const char*
+mediaName(core::MediaKind m)
+{
+    switch (m) {
+      case core::MediaKind::ZNand: return "Z-NAND";
+      case core::MediaKind::Pram: return "PRAM";
+      case core::MediaKind::SttMram: return "STT-MRAM";
+      case core::MediaKind::Delay: return "delay";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("uncached 4 KB random reads, 2 threads (MB/s)\n\n");
+    std::printf("%-10s %-10s %-12s %10s\n", "policy", "media",
+                "firmware", "MB/s");
+
+    for (core::MediaKind media :
+         {core::MediaKind::ZNand, core::MediaKind::Pram,
+          core::MediaKind::SttMram}) {
+        for (const char* policy : {"lrc", "lru"}) {
+            for (bool asic : {false, true}) {
+                auto fw = asic ? nvmc::FirmwareConfig::asic()
+                               : nvmc::FirmwareConfig::poc();
+                double mbps = measureUncached(policy, media, fw);
+                std::printf("%-10s %-10s %-12s %10.1f\n", policy,
+                            mediaName(media), asic ? "asic" : "poc",
+                            mbps);
+            }
+        }
+    }
+    std::printf("\nthe paper's takeaway (§VII-D): with media faster "
+                "than ~2 us per 4 KB,\nthe tRFC-window architecture "
+                "delivers balanced SCM performance.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Command-trace recorder: a CaSnooper that keeps a bounded ring of
+ * decoded commands with timestamps, dumpable as text. Useful for
+ * debugging window math (examples/bus_inspector uses the same idea)
+ * and for regression-checking command interleavings.
+ */
+
+#ifndef NVDIMMC_BUS_BUS_TRACER_HH
+#define NVDIMMC_BUS_BUS_TRACER_HH
+
+#include <deque>
+#include <ostream>
+
+#include "bus/memory_bus.hh"
+#include "dram/ddr4_command.hh"
+
+namespace nvdimmc::bus
+{
+
+/** Bounded command trace. */
+class BusTracer : public CaSnooper
+{
+  public:
+    struct Entry
+    {
+        Tick tick;
+        dram::Ddr4Command cmd;
+    };
+
+    explicit BusTracer(std::size_t capacity = 4096)
+        : capacity_(capacity)
+    {
+    }
+
+    void
+    observeFrame(const dram::CaFrame& frame, Tick now) override
+    {
+        if (entries_.size() == capacity_)
+            entries_.pop_front();
+        entries_.push_back({now, dram::decodeFrame(frame)});
+        ++total_;
+    }
+
+    const std::deque<Entry>& entries() const { return entries_; }
+    std::uint64_t totalObserved() const { return total_; }
+    void clear() { entries_.clear(); }
+
+    /** Count of a given op within the retained window. */
+    std::size_t
+    count(dram::Ddr4Op op) const
+    {
+        std::size_t n = 0;
+        for (const auto& e : entries_) {
+            if (e.cmd.op == op)
+                ++n;
+        }
+        return n;
+    }
+
+    /** Dump "tick_us CMD bg ba row col" lines. */
+    void
+    dump(std::ostream& os) const
+    {
+        for (const auto& e : entries_) {
+            os << ticksToUs(e.tick) << " " << e.cmd.describe()
+               << "\n";
+        }
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Entry> entries_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace nvdimmc::bus
+
+#endif // NVDIMMC_BUS_BUS_TRACER_HH

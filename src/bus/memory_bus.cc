@@ -1,0 +1,98 @@
+#include "bus/memory_bus.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::bus
+{
+
+MemoryBus::MemoryBus(EventQueue& eq, dram::DramDevice& dram,
+                     bool panic_on_conflict)
+    : eq_(eq), dram_(dram), panicOnConflict_(panic_on_conflict)
+{
+}
+
+int
+MemoryBus::registerMaster(std::string name)
+{
+    masters_.push_back(std::move(name));
+    commandCounts_.push_back(0);
+    return static_cast<int>(masters_.size()) - 1;
+}
+
+void
+MemoryBus::recordConflict(Tick now, std::string what, int a, int b)
+{
+    conflicts_.push_back({now, what, a, b});
+    if (panicOnConflict_) {
+        panic("bus conflict @", now, ": ", conflicts_.back().what,
+              " (", masterName(a), " vs ",
+              b >= 0 ? masterName(b) : "?", ")");
+    } else {
+        warn("bus conflict @", now, ": ", conflicts_.back().what);
+    }
+}
+
+dram::IssueResult
+MemoryBus::issueCommand(int master, const dram::Ddr4Command& cmd)
+{
+    NVDC_ASSERT(master >= 0 &&
+                master < static_cast<int>(masters_.size()),
+                "unknown bus master");
+    const Tick now = eq_.now();
+    const Tick slot = dram_.timing().tCK;
+
+    ++commandCounts_[master];
+
+    // NOP/DES don't drive the bus; they are the idle state.
+    const bool drives = cmd.op != dram::Ddr4Op::Deselect &&
+                        cmd.op != dram::Ddr4Op::Nop;
+
+    if (drives) {
+        if (now < caBusyUntil_ && caOwner_ != master) {
+            std::ostringstream os;
+            os << "CA collision: " << masterName(master) << " drives "
+               << cmd.describe() << " while " << masterName(caOwner_)
+               << " owns the bus";
+            recordConflict(now, os.str(), master, caOwner_);
+        }
+        caBusyUntil_ = now + slot;
+        caOwner_ = master;
+
+        const dram::CaFrame frame = dram::encodeCommand(cmd);
+        for (auto* snooper : snoopers_)
+            snooper->observeFrame(frame, now);
+    }
+
+    dram::IssueResult res = dram_.issue(cmd, now);
+    if (res.dataEnd > res.dataStart)
+        claimDq(master, res.dataStart, res.dataEnd);
+    return res;
+}
+
+void
+MemoryBus::claimDq(int master, Tick start, Tick end)
+{
+    const Tick now = eq_.now();
+    // Prune claims that ended long ago; only overlaps matter.
+    while (!dqClaims_.empty() && dqClaims_.front().end + kUs < now)
+        dqClaims_.pop_front();
+
+    for (const auto& claim : dqClaims_) {
+        if (claim.master == master)
+            continue;
+        if (start < claim.end && claim.start < end) {
+            std::ostringstream os;
+            os << "DQ collision: " << masterName(master)
+               << " data burst [" << start << ", " << end
+               << ") overlaps " << masterName(claim.master) << " ["
+               << claim.start << ", " << claim.end << ")";
+            recordConflict(now, os.str(), master, claim.master);
+        }
+    }
+    dqClaims_.push_back({master, start, end});
+}
+
+} // namespace nvdimmc::bus

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared DDR4 memory channel with more than one bus master.
+ *
+ * This models the paper's central hazard (Fig 2a): the host iMC and
+ * the on-DIMM NVMC are both wired to the same CA/DQ pins of the DRAM
+ * cache, and nothing in DDR4 arbitrates between them. The bus forwards
+ * commands to the DRAM device, lets snoopers (the NVMC's refresh
+ * detector) watch the raw CA frames, and *detects* collisions:
+ *
+ *  - C1 command collisions: two masters driving the CA bus in
+ *    overlapping command slots.
+ *  - DQ collisions: overlapping data bursts from different masters.
+ *
+ * The paper's C2 case (a master's command invalidated by the other
+ * master changing bank state) surfaces as a DramDevice protocol
+ * violation, which the bus also attributes to the issuing master.
+ */
+
+#ifndef NVDIMMC_BUS_MEMORY_BUS_HH
+#define NVDIMMC_BUS_MEMORY_BUS_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_device.hh"
+
+namespace nvdimmc::bus
+{
+
+/** A detected electrical collision on the shared channel. */
+struct BusConflict
+{
+    Tick tick = 0;
+    std::string what;
+    int masterA = -1;
+    int masterB = -1;
+};
+
+/** Observer of raw CA frames (e.g. the NVMC refresh detector). */
+class CaSnooper
+{
+  public:
+    virtual ~CaSnooper() = default;
+
+    /** Called for every frame any master drives, at the drive tick. */
+    virtual void observeFrame(const dram::CaFrame& frame, Tick now) = 0;
+};
+
+/** The shared channel. */
+class MemoryBus
+{
+  public:
+    /**
+     * @param eq simulation event queue (for now()).
+     * @param dram the fronted DRAM device.
+     * @param panic_on_conflict abort on any collision (production
+     *        mode); tests that inject failures keep it off.
+     */
+    MemoryBus(EventQueue& eq, dram::DramDevice& dram,
+              bool panic_on_conflict = false);
+
+    /** Register a master; the returned id tags its commands. */
+    int registerMaster(std::string name);
+
+    const std::string& masterName(int id) const { return masters_[id]; }
+
+    void addSnooper(CaSnooper* snooper) { snoopers_.push_back(snooper); }
+
+    /**
+     * Drive one command on the CA bus at the current tick. Detects CA
+     * collisions, lets snoopers observe the frame, forwards the
+     * command to the DRAM, and claims the DQ window for RD/WR.
+     */
+    dram::IssueResult issueCommand(int master,
+                                   const dram::Ddr4Command& cmd);
+
+    /**
+     * Claim the DQ bus for [start, end); used internally for RD/WR
+     * and exposed so write-data bursts from a DMA can be modelled.
+     */
+    void claimDq(int master, Tick start, Tick end);
+
+    dram::DramDevice& dram() { return dram_; }
+    const dram::DramDevice& dram() const { return dram_; }
+
+    const std::vector<BusConflict>& conflicts() const
+    {
+        return conflicts_;
+    }
+    std::uint64_t conflictCount() const { return conflicts_.size(); }
+    void clearConflicts() { conflicts_.clear(); }
+
+    /** Commands each master has driven. */
+    std::uint64_t commandCount(int master) const
+    {
+        return commandCounts_[master];
+    }
+
+  private:
+    struct DqClaim
+    {
+        int master;
+        Tick start;
+        Tick end;
+    };
+
+    void recordConflict(Tick now, std::string what, int a, int b);
+
+    EventQueue& eq_;
+    dram::DramDevice& dram_;
+    bool panicOnConflict_;
+
+    std::vector<std::string> masters_;
+    std::vector<std::uint64_t> commandCounts_;
+    std::vector<CaSnooper*> snoopers_;
+
+    /** CA occupancy: one command slot (1 tCK) per command. */
+    Tick caBusyUntil_ = 0;
+    int caOwner_ = -1;
+
+    std::deque<DqClaim> dqClaims_;
+    std::vector<BusConflict> conflicts_;
+};
+
+} // namespace nvdimmc::bus
+
+#endif // NVDIMMC_BUS_MEMORY_BUS_HH

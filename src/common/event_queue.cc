@@ -1,0 +1,88 @@
+#include "common/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace nvdimmc
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_) {
+        panic("EventQueue: scheduling at tick ", when,
+              " which is before now ", now_);
+    }
+    EventId id = nextId_++;
+    queue_.push(Entry{when, id, std::move(cb)});
+    pendingIds_.insert(id);
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    return schedule(now_ + delay, std::move(cb));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Lazy deletion: the queue entry is dropped when it surfaces.
+    pendingIds_.erase(id);
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!queue_.empty() && pendingIds_.count(queue_.top().id) == 0)
+        queue_.pop();
+}
+
+bool
+EventQueue::fireNext()
+{
+    skipDead();
+    if (queue_.empty())
+        return false;
+    Entry top = queue_.top();
+    queue_.pop();
+    NVDC_ASSERT(top.when >= now_, "event in the past");
+    now_ = top.when;
+    pendingIds_.erase(top.id);
+    ++fired_;
+    if (top.cb)
+        top.cb();
+    return true;
+}
+
+bool
+EventQueue::runOne()
+{
+    return fireNext();
+}
+
+void
+EventQueue::runUntil(Tick when)
+{
+    NVDC_ASSERT(when >= now_, "runUntil into the past");
+    for (;;) {
+        skipDead();
+        if (queue_.empty() || queue_.top().when > when)
+            break;
+        fireNext();
+    }
+    now_ = when;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && fireNext())
+        ++n;
+    return n;
+}
+
+} // namespace nvdimmc

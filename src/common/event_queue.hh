@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, sequence-number) so a
+ * whole-system simulation is fully deterministic. Events may be
+ * cancelled; cancellation is lazy (the queue entry is skipped when it
+ * reaches the head).
+ */
+
+#ifndef NVDIMMC_COMMON_EVENT_QUEUE_HH
+#define NVDIMMC_COMMON_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nvdimmc
+{
+
+/**
+ * Deterministic discrete-event scheduler keyed on picosecond ticks.
+ *
+ * Two events at the same tick fire in the order they were scheduled.
+ * Scheduling in the past is a panic: simulated hardware cannot react
+ * before its cause.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute tick @p when (>= now()).
+     * @return an id usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    EventId scheduleAfter(Tick delay, Callback cb);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown id
+     * is a harmless no-op (the id space never recycles).
+     */
+    void cancel(EventId id);
+
+    /** @return true iff @p id is scheduled and not yet fired/cancelled. */
+    bool isPending(EventId id) const { return pendingIds_.count(id) != 0; }
+
+    /** @return true iff no runnable events remain. */
+    bool empty() const { return pendingIds_.empty(); }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return pendingIds_.size(); }
+
+    /**
+     * Fire the single earliest event.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run every event with tick <= @p when, then advance now() to
+     * @p when even if the queue drained earlier.
+     */
+    void runUntil(Tick when);
+
+    /** runUntil(now() + delta). */
+    void runFor(Tick delta) { runUntil(now_ + delta); }
+
+    /**
+     * Run until the queue drains or @p max_events fired.
+     * @return number of events fired.
+     */
+    std::uint64_t runAll(std::uint64_t max_events = ~std::uint64_t{0});
+
+    /** Total events fired since construction. */
+    std::uint64_t eventsFired() const { return fired_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    /** Pop entries until a live one is found; fire it. */
+    bool fireNext();
+
+    /** Drop cancelled entries from the head of the queue. */
+    void skipDead();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::unordered_set<EventId> pendingIds_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace nvdimmc
+
+#endif // NVDIMMC_COMMON_EVENT_QUEUE_HH

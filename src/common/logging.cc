@@ -1,0 +1,54 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace nvdimmc
+{
+
+namespace
+{
+
+LogLevel gLogLevel = LogLevel::Warn;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+namespace detail
+{
+
+std::string
+formatMessage(const char* kind, const std::string& body)
+{
+    std::string out;
+    out.reserve(body.size() + 16);
+    out += kind;
+    out += ": ";
+    out += body;
+    return out;
+}
+
+void
+emit(LogLevel level, const char* kind, const std::string& body)
+{
+    // panic/fatal pass Silent so they always print before throwing.
+    if (level != LogLevel::Silent &&
+        static_cast<int>(level) > static_cast<int>(gLogLevel)) {
+        return;
+    }
+    std::cerr << formatMessage(kind, body) << "\n";
+}
+
+} // namespace detail
+
+} // namespace nvdimmc

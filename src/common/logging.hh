@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Simulator status and error reporting, in the spirit of gem5's
+ * logging.hh: panic() for internal invariant violations, fatal() for
+ * user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef NVDIMMC_COMMON_LOGGING_HH
+#define NVDIMMC_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nvdimmc
+{
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/** Thrown by fatal(): the configuration or input is unusable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Verbosity of non-fatal messages printed to stderr. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Set / query the global log verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail
+{
+
+std::string formatMessage(const char* kind, const std::string& body);
+void emit(LogLevel level, const char* kind, const std::string& body);
+
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and throw PanicError. Use only for
+ * conditions that should never happen regardless of configuration.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    auto body = detail::concat(std::forward<Args>(args)...);
+    detail::emit(LogLevel::Silent, "panic", body);
+    throw PanicError(detail::formatMessage("panic", body));
+}
+
+/**
+ * Report an unrecoverable user/configuration error and throw
+ * FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    auto body = detail::concat(std::forward<Args>(args)...);
+    detail::emit(LogLevel::Silent, "fatal", body);
+    throw FatalError(detail::formatMessage("fatal", body));
+}
+
+/** Report suspicious but survivable behaviour. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::emit(LogLevel::Warn, "warn",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::emit(LogLevel::Inform, "info",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Verbose debugging output. */
+template <typename... Args>
+void
+debugLog(Args&&... args)
+{
+    detail::emit(LogLevel::Debug, "debug",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p cond holds. */
+#define NVDC_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::nvdimmc::panic("assertion failed: " #cond " ", __VA_ARGS__);  \
+        }                                                                   \
+    } while (0)
+
+} // namespace nvdimmc
+
+#endif // NVDIMMC_COMMON_LOGGING_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32).
+ *
+ * Every stochastic component takes an explicit Rng so whole-system runs
+ * are reproducible from a single seed. std::mt19937 is avoided because
+ * its state is large and its distributions are not
+ * implementation-stable; PCG32 with our own distribution helpers is.
+ */
+
+#ifndef NVDIMMC_COMMON_RANDOM_HH
+#define NVDIMMC_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace nvdimmc
+{
+
+/** Minimal PCG32 generator (O'Neill 2014, pcg32_random_r). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbull)
+    {
+        state_ = 0;
+        inc_ = (stream << 1) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Uniform 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ull + inc_;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /** Uniform integer in [0, bound). bound == 0 returns 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection sampling on 64-bit keeps the bias negligible for
+        // any bound a simulator will use.
+        std::uint64_t threshold = (~bound + 1) % bound;
+        for (;;) {
+            std::uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Bounded Zipf-like draw in [0, n): rank-skewed popularity used by
+     * the TPC-H and mixed-load generators. theta=0 degenerates to
+     * uniform; larger theta concentrates mass on low ranks.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double theta)
+    {
+        if (n <= 1 || theta <= 0.0)
+            return below(n);
+        // Inverse-CDF approximation of a Zipf(theta) over n items:
+        // P(rank < x) ~ (x/n)^(1-theta). Cheap and monotone, which is
+        // all the locality modelling needs.
+        double u = uniform();
+        double exponent = 1.0 / (1.0 - (theta >= 0.99 ? 0.99 : theta));
+        double x = static_cast<double>(n) * std::pow(u, exponent);
+        auto idx = static_cast<std::uint64_t>(x);
+        return idx >= n ? n - 1 : idx;
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace nvdimmc
+
+#endif // NVDIMMC_COMMON_RANDOM_HH

@@ -1,0 +1,42 @@
+#include "core/power.hh"
+
+#include "common/logging.hh"
+
+namespace nvdimmc::core
+{
+
+PowerFailureReport
+simulatePowerFailure(NvdimmcSystem& sys, const PowerFailureScenario& sc)
+{
+    PowerFailureReport report;
+
+    if (!sys.nvmc()) {
+        warn("power failure on a system without an NVMC: nothing "
+             "can be dumped");
+    }
+
+    if (sc.raceWindow) {
+        // Dump first: WPQ stores lose the race and are invisible to
+        // the firmware even though ADR technically saved them into
+        // DRAM afterwards.
+        if (sys.nvmc())
+            report.pagesDumped = sys.nvmc()->firmware().powerFailDump();
+        if (sc.adrWorks)
+            report.wpqFlushed = sys.imc().adrFlushWpq();
+        else
+            report.wpqLost = sys.imc().dropWpq();
+        return report;
+    }
+
+    if (sc.adrWorks)
+        report.wpqFlushed = sys.imc().adrFlushWpq();
+    else
+        report.wpqLost = sys.imc().dropWpq();
+
+    if (sys.nvmc())
+        report.pagesDumped = sys.nvmc()->firmware().powerFailDump();
+
+    return report;
+}
+
+} // namespace nvdimmc::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Power-failure and recovery model (paper §V-C).
+ *
+ * On power loss:
+ *  1. ADR (if working) flushes the iMC write pending queue into the
+ *     DRAM array; without ADR those stores are lost.
+ *  2. The FPGA firmware, on battery power, reads the metadata area
+ *     and dumps every valid dirty slot into the NVM — ignoring the
+ *     tRFC serialization rule, since the host is dead.
+ *
+ * Because (1) and (2) race on real hardware, even working ADR leaves
+ * a *weak* persistence window: the dump may read a slot before a WPQ
+ * store landed in it. raceWindow models that by dumping first.
+ */
+
+#ifndef NVDIMMC_CORE_POWER_HH
+#define NVDIMMC_CORE_POWER_HH
+
+#include <cstddef>
+
+#include "core/system.hh"
+
+namespace nvdimmc::core
+{
+
+/** What happened during the failure. */
+struct PowerFailureReport
+{
+    std::size_t wpqFlushed = 0; ///< Stores ADR saved.
+    std::size_t wpqLost = 0;    ///< Stores that died in the WPQ.
+    std::size_t pagesDumped = 0;///< Dirty slots the firmware saved.
+};
+
+/** Power-failure scenario knobs. */
+struct PowerFailureScenario
+{
+    /** Platform ADR works (flushes the WPQ). */
+    bool adrWorks = true;
+    /**
+     * Model the §V-C race: the firmware dump reads the DRAM *before*
+     * the WPQ drain lands — ADR-flushed stores to dumped slots are
+     * then not captured by the dump.
+     */
+    bool raceWindow = false;
+};
+
+/**
+ * Kill the machine. After this, the DRAM contents are gone; only what
+ * reached the NVM backend survives. Use the system's backend to
+ * verify recovery.
+ */
+PowerFailureReport simulatePowerFailure(NvdimmcSystem& sys,
+                                        const PowerFailureScenario& sc);
+
+} // namespace nvdimmc::core
+
+#endif // NVDIMMC_CORE_POWER_HH

@@ -1,0 +1,222 @@
+#include "core/system.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "nvm/pram.hh"
+#include "nvm/sttmram.hh"
+
+namespace nvdimmc::core
+{
+
+NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
+{
+    map_ = std::make_unique<dram::AddressMap>(cfg.dramCacheBytes);
+    dram_ = std::make_unique<dram::DramDevice>(
+        *map_, cfg.dramTiming, cfg.storeData, cfg.strictHardware);
+    bus_ = std::make_unique<bus::MemoryBus>(eq_, *dram_,
+                                            cfg.strictHardware);
+
+    imc::ImcConfig imc_cfg = cfg.imc;
+    imc_cfg.refresh = cfg.refresh;
+    imc_ = std::make_unique<imc::Imc>(eq_, *bus_, imc_cfg);
+
+    switch (cfg.media) {
+      case MediaKind::ZNand: {
+        znand_ = std::make_unique<nvm::ZNand>(eq_, cfg.znand);
+        ftl_ = std::make_unique<ftl::Ftl>(eq_, *znand_, cfg.ftl);
+        backend_ = ftl_.get();
+        break;
+      }
+      case MediaKind::Pram:
+        simpleMedia_ = std::make_unique<nvm::Pram>(eq_, cfg.mediaBytes);
+        directBackend_ =
+            std::make_unique<nvm::DirectBackend>(*simpleMedia_);
+        backend_ = directBackend_.get();
+        break;
+      case MediaKind::SttMram:
+        simpleMedia_ =
+            std::make_unique<nvm::SttMram>(eq_, cfg.mediaBytes);
+        directBackend_ =
+            std::make_unique<nvm::DirectBackend>(*simpleMedia_);
+        backend_ = directBackend_.get();
+        break;
+      case MediaKind::Delay:
+        delayMedia_ = std::make_unique<nvm::DelayMedia>(
+            eq_, cfg.mediaBytes, cfg.delayMediaLatency);
+        directBackend_ =
+            std::make_unique<nvm::DirectBackend>(*delayMedia_);
+        backend_ = directBackend_.get();
+        break;
+    }
+
+    if (cfg.driver.cpQueueDepth != cfg.nvmc.firmware.cpQueueDepth) {
+        warn("NvdimmcSystem: driver CP depth (",
+             cfg.driver.cpQueueDepth, ") != firmware CP depth (",
+             cfg.nvmc.firmware.cpQueueDepth,
+             ") — commands on the unpolled slots will never be acked");
+    }
+    std::uint32_t cp_depth =
+        std::max(cfg.driver.cpQueueDepth, cfg.nvmc.firmware.cpQueueDepth);
+    layout_ = std::make_unique<nvmc::ReservedLayout>(cfg.dramCacheBytes,
+                                                     cp_depth);
+
+    if (cfg.nvmcEnabled) {
+        nvmc::NvmcConfig nvmc_cfg = cfg.nvmc;
+        nvmc_cfg.programmedRefresh = cfg.refresh;
+        nvmc_ = std::make_unique<nvmc::Nvmc>(eq_, *bus_, *backend_,
+                                             *layout_, nvmc_cfg);
+    }
+
+    cpuCache_ =
+        std::make_unique<cpu::CpuCacheModel>(eq_, *imc_, cfg.cpuCache);
+    engine_ = std::make_unique<cpu::MemcpyEngine>(
+        eq_, *imc_, cpuCache_.get(), cfg.memcpy);
+    driver_ = std::make_unique<driver::NvdcDriver>(
+        eq_, *cpuCache_, *engine_, *layout_, backend_->pageCount(),
+        cfg.driver);
+}
+
+void
+NvdimmcSystem::precondition(std::uint64_t first_page,
+                            std::uint32_t pages, bool dirty)
+{
+    auto& cache = driver_->cache();
+    auto& pt = driver_->pageTable();
+    NVDC_ASSERT(pages <= cache.slotCount() - cache.usedSlots(),
+                "preconditioning more pages than free slots");
+
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        std::uint64_t dev_page = first_page + i;
+        std::uint32_t slot = cache.allocate(dev_page);
+        cache.finishFill(slot);
+        if (dirty)
+            cache.markDirty(slot);
+        pt.map(dev_page, slot);
+
+        // Keep the in-DRAM metadata consistent (the firmware's
+        // power-fail dump reads it from the array).
+        std::uint32_t first = (slot / 4) * 4;
+        Addr addr = layout_->metadataAddr(first);
+        std::array<std::uint8_t, 64> line{};
+        for (std::uint32_t j = 0; j < 4; ++j) {
+            std::uint32_t s = first + j;
+            if (s >= cache.slotCount())
+                break;
+            const auto& cs = cache.slot(s);
+            nvmc::SlotMetadata m;
+            m.nandPage = cs.devPage;
+            m.valid = cs.state != driver::CacheSlot::State::Free;
+            m.dirty = cs.dirty;
+            nvmc::encodeSlotMetadata(m, line.data() + j * 16);
+        }
+        dram_->writeBurst(map_->decompose(addr), line.data());
+    }
+}
+
+void
+NvdimmcSystem::dumpStats(std::ostream& os) const
+{
+    StatRegistry reg;
+    auto add_counter = [&reg](const char* name, const Counter& c) {
+        reg.add(name, [&c] { return static_cast<double>(c.value()); });
+    };
+
+    const auto& ds = dram_->stats();
+    add_counter("dram.activates", ds.activates);
+    add_counter("dram.reads", ds.reads);
+    add_counter("dram.writes", ds.writes);
+    add_counter("dram.refreshes", ds.refreshes);
+    add_counter("dram.violations", ds.violations);
+    reg.add("bus.conflicts", [this] {
+        return static_cast<double>(bus_->conflictCount());
+    });
+
+    const auto& is = imc_->stats();
+    add_counter("imc.reads_accepted", is.readsAccepted);
+    add_counter("imc.writes_accepted", is.writesAccepted);
+    add_counter("imc.wpq_forwards", is.wpqForwards);
+    add_counter("imc.refreshes_issued", is.refreshesIssued);
+    reg.add("imc.read_latency_mean_ns", [&is] {
+        return is.readLatency.mean() / 1000.0;
+    });
+
+    const auto& cs = cpuCache_->stats();
+    add_counter("cpu.load_hits", cs.loadHits);
+    add_counter("cpu.load_misses", cs.loadMisses);
+    add_counter("cpu.nt_stores", cs.ntStores);
+    add_counter("cpu.flushes", cs.flushes);
+
+    const auto& drv = driver_->stats();
+    add_counter("nvdc.read_ops", drv.readOps);
+    add_counter("nvdc.write_ops", drv.writeOps);
+    add_counter("nvdc.page_faults", drv.pageFaults);
+    add_counter("nvdc.cachefills", drv.cachefills);
+    add_counter("nvdc.writebacks", drv.writebacks);
+    add_counter("nvdc.merged_commands", drv.mergedCommands);
+    add_counter("nvdc.prefetches", drv.prefetchesIssued);
+    const auto& cache_stats = driver_->cache().stats();
+    add_counter("cache.hits", cache_stats.hits);
+    add_counter("cache.misses", cache_stats.misses);
+    reg.add("cache.hit_rate", [&cache_stats] {
+        return cache_stats.hitRate();
+    });
+
+    if (nvmc_) {
+        const auto& fw = nvmc_->firmware().stats();
+        add_counter("fw.cp_polls", fw.cpPolls);
+        add_counter("fw.commands", fw.commandsAccepted);
+        add_counter("fw.acks", fw.acksWritten);
+        reg.add("nvmc.windows_granted", [this] {
+            return static_cast<double>(nvmc_->windowsGranted());
+        });
+        reg.add("fw.op_latency_mean_us", [&fw] {
+            return fw.opLatency.mean() / 1e6;
+        });
+    }
+    if (ftl_) {
+        const auto& fs = ftl_->stats();
+        add_counter("ftl.user_reads", fs.userReads);
+        add_counter("ftl.user_writes", fs.userWrites);
+        add_counter("ftl.gc_runs", fs.gcRuns);
+        add_counter("ftl.gc_relocations", fs.gcRelocations);
+        add_counter("ftl.grown_bad_blocks", fs.grownBadBlocks);
+        reg.add("ftl.write_amplification", [&fs] {
+            return fs.writeAmplification();
+        });
+        const auto& zs = znand_->stats();
+        add_counter("znand.page_reads", zs.pageReads);
+        add_counter("znand.page_programs", zs.pagePrograms);
+        add_counter("znand.block_erases", zs.blockErases);
+    }
+
+    reg.dump(os);
+}
+
+bool
+NvdimmcSystem::hardwareClean() const
+{
+    return bus_->conflictCount() == 0 &&
+           dram_->stats().violations.value() == 0;
+}
+
+BaselineSystem::BaselineSystem(const BaselineConfig& cfg) : cfg_(cfg)
+{
+    map_ = std::make_unique<dram::AddressMap>(cfg.capacityBytes);
+    dram_ = std::make_unique<dram::DramDevice>(*map_, cfg.dramTiming,
+                                               cfg.storeData, false);
+    bus_ = std::make_unique<bus::MemoryBus>(eq_, *dram_, false);
+
+    imc::ImcConfig imc_cfg = cfg.imc;
+    imc_cfg.refresh = cfg.refresh;
+    imc_ = std::make_unique<imc::Imc>(eq_, *bus_, imc_cfg);
+
+    cpuCache_ =
+        std::make_unique<cpu::CpuCacheModel>(eq_, *imc_, cfg.cpuCache);
+    engine_ = std::make_unique<cpu::MemcpyEngine>(
+        eq_, *imc_, cpuCache_.get(), cfg.memcpy);
+    driver_ = std::make_unique<driver::PmemDriver>(
+        eq_, *engine_, cfg.capacityBytes, cfg.pmem);
+}
+
+} // namespace nvdimmc::core

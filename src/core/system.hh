@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Whole-system assembly.
+ *
+ * NvdimmcSystem builds the complete NVDIMM-C stack of Fig 1b/3/4:
+ * shared DDR4 channel with conflict checking, DRAM cache device, host
+ * iMC with programmed tRFC/tREFI, the NVMC (detector + DMA + firmware)
+ * snooping the same bus, the NVM backend (FTL over Z-NAND, or a direct
+ * byte-addressable media), the CPU cache model and the nvdc driver.
+ *
+ * BaselineSystem builds the /dev/pmem0 comparison machine.
+ */
+
+#ifndef NVDIMMC_CORE_SYSTEM_HH
+#define NVDIMMC_CORE_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+
+#include "bus/memory_bus.hh"
+#include "common/event_queue.hh"
+#include "core/system_config.hh"
+#include "cpu/cache_model.hh"
+#include "cpu/memcpy_engine.hh"
+#include "driver/nvdc_driver.hh"
+#include "driver/pmem_driver.hh"
+#include "dram/dram_device.hh"
+#include "ftl/ftl.hh"
+#include "imc/imc.hh"
+#include "nvm/delay_media.hh"
+#include "nvm/nvm_media.hh"
+#include "nvm/znand.hh"
+#include "nvmc/nvmc.hh"
+
+namespace nvdimmc::core
+{
+
+/** The full NVDIMM-C machine. */
+class NvdimmcSystem
+{
+  public:
+    explicit NvdimmcSystem(const SystemConfig& cfg);
+
+    EventQueue& eq() { return eq_; }
+    bus::MemoryBus& bus() { return *bus_; }
+    dram::DramDevice& dramDevice() { return *dram_; }
+    imc::Imc& imc() { return *imc_; }
+    cpu::CpuCacheModel& cpuCache() { return *cpuCache_; }
+    cpu::MemcpyEngine& engine() { return *engine_; }
+    driver::NvdcDriver& driver() { return *driver_; }
+    nvm::PageBackend& backend() { return *backend_; }
+    nvmc::Nvmc* nvmc() { return nvmc_.get(); }
+    nvm::ZNand* znand() { return znand_.get(); }
+    ftl::Ftl* ftl() { return ftl_.get(); }
+    nvm::DelayMedia* delayMedia() { return delayMedia_.get(); }
+    const SystemConfig& config() const { return cfg_; }
+    const nvmc::ReservedLayout& layout() const { return *layout_; }
+
+    /** Advance simulated time. */
+    void run(Tick duration) { eq_.runFor(duration); }
+
+    /** Run until no events remain (bounded). */
+    void drain(std::uint64_t max_events = 50'000'000)
+    {
+        eq_.runAll(max_events);
+    }
+
+    /**
+     * Test/bench scaffolding: install @p pages device pages as cached
+     * (optionally dirty) without paying the fill latency, starting at
+     * device page @p first_page. Metadata in DRAM is updated so the
+     * power-fail dump stays consistent.
+     */
+    void precondition(std::uint64_t first_page, std::uint32_t pages,
+                      bool dirty);
+
+    /** Zero bus conflicts and zero DRAM violations so far? */
+    bool hardwareClean() const;
+
+    /** Dump every layer's statistics in "name = value" form. */
+    void dumpStats(std::ostream& os) const;
+
+  private:
+    SystemConfig cfg_;
+    EventQueue eq_;
+
+    std::unique_ptr<dram::AddressMap> map_;
+    std::unique_ptr<dram::DramDevice> dram_;
+    std::unique_ptr<bus::MemoryBus> bus_;
+    std::unique_ptr<imc::Imc> imc_;
+
+    std::unique_ptr<nvm::ZNand> znand_;
+    std::unique_ptr<ftl::Ftl> ftl_;
+    std::unique_ptr<nvm::NvmMedia> simpleMedia_;
+    std::unique_ptr<nvm::DelayMedia> delayMedia_;
+    std::unique_ptr<nvm::DirectBackend> directBackend_;
+    nvm::PageBackend* backend_ = nullptr;
+
+    std::unique_ptr<nvmc::ReservedLayout> layout_;
+    std::unique_ptr<nvmc::Nvmc> nvmc_;
+
+    std::unique_ptr<cpu::CpuCacheModel> cpuCache_;
+    std::unique_ptr<cpu::MemcpyEngine> engine_;
+    std::unique_ptr<driver::NvdcDriver> driver_;
+};
+
+/** The /dev/pmem0 baseline machine. */
+class BaselineSystem
+{
+  public:
+    explicit BaselineSystem(const BaselineConfig& cfg);
+
+    EventQueue& eq() { return eq_; }
+    bus::MemoryBus& bus() { return *bus_; }
+    imc::Imc& imc() { return *imc_; }
+    cpu::MemcpyEngine& engine() { return *engine_; }
+    driver::PmemDriver& driver() { return *driver_; }
+    const BaselineConfig& config() const { return cfg_; }
+
+    void run(Tick duration) { eq_.runFor(duration); }
+
+  private:
+    BaselineConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<dram::AddressMap> map_;
+    std::unique_ptr<dram::DramDevice> dram_;
+    std::unique_ptr<bus::MemoryBus> bus_;
+    std::unique_ptr<imc::Imc> imc_;
+    std::unique_ptr<cpu::CpuCacheModel> cpuCache_;
+    std::unique_ptr<cpu::MemcpyEngine> engine_;
+    std::unique_ptr<driver::PmemDriver> driver_;
+};
+
+} // namespace nvdimmc::core
+
+#endif // NVDIMMC_CORE_SYSTEM_HH

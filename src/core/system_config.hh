@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Whole-system configurations (paper Table I) and scaled variants.
+ *
+ * paperPoc() encodes the evaluated machine: Xeon Platinum 8168 host,
+ * DDR4-1600 channel, a 128 GB NVDIMM-C with a 16 GB RDIMM cache
+ * (tRFC programmed to 1250 ns) and 2 x 64 GB Z-NAND behind an FTL
+ * exposing 120 GB. Scaled variants shrink capacities (not timings!) so
+ * tests and benches converge quickly; every ratio that drives the
+ * paper's results (cache:footprint, tRFC:tREFI) is preserved by the
+ * caller choosing footprints relative to the cache.
+ */
+
+#ifndef NVDIMMC_CORE_SYSTEM_CONFIG_HH
+#define NVDIMMC_CORE_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/cache_model.hh"
+#include "cpu/memcpy_engine.hh"
+#include "driver/nvdc_driver.hh"
+#include "driver/pmem_driver.hh"
+#include "dram/timing.hh"
+#include "ftl/ftl.hh"
+#include "imc/imc.hh"
+#include "nvm/nvm_media.hh"
+#include "nvm/znand.hh"
+#include "nvmc/nvmc.hh"
+
+namespace nvdimmc::core
+{
+
+/** Backend media choice. */
+enum class MediaKind
+{
+    ZNand,   ///< The PoC: Z-NAND behind the FTL.
+    Pram,    ///< PRAM direct backend.
+    SttMram, ///< STT-MRAM direct backend.
+    Delay,   ///< Programmable-delay media (hypothetical device).
+};
+
+/** Full NVDIMM-C system configuration. */
+struct SystemConfig
+{
+    /** @name DRAM cache DIMM. */
+    /** @{ */
+    std::uint64_t dramCacheBytes = 16 * kGiB;
+    dram::Ddr4Timing dramTiming = dram::Ddr4Timing::ddr4_1600();
+    dram::RefreshRegisters refresh = dram::RefreshRegisters::nvdimmc();
+    /** @} */
+
+    /** @name Backend. */
+    /** @{ */
+    MediaKind media = MediaKind::ZNand;
+    nvm::ZNandParams znand = nvm::ZNandParams::poc128GB();
+    /** Capacity for the simple/delay media kinds. */
+    std::uint64_t mediaBytes = 128 * kGiB;
+    Tick delayMediaLatency = 0;
+    ftl::FtlConfig ftl;
+    /** @} */
+
+    nvmc::NvmcConfig nvmc;
+    driver::NvdcDriverConfig driver;
+    imc::ImcConfig imc;
+    cpu::CpuCacheModel::Params cpuCache;
+    cpu::MemcpyParams memcpy;
+
+    /** Build the NVMC at all (off for the hypothetical device). */
+    bool nvmcEnabled = true;
+    /** Keep actual bytes in DRAM/NAND (tests on; big benches off). */
+    bool storeData = true;
+    /** Abort on any bus conflict / DRAM protocol violation. */
+    bool strictHardware = false;
+
+    /** Table I as evaluated. */
+    static SystemConfig paperPoc();
+    /** Small config for unit/integration tests (64 MiB cache). */
+    static SystemConfig scaledTest();
+    /** Medium config for benches (512 MiB cache, bulk memcpy). */
+    static SystemConfig scaledBench();
+};
+
+/** Baseline (/dev/pmem0) system configuration. */
+struct BaselineConfig
+{
+    std::uint64_t capacityBytes = 128 * kGiB;
+    dram::Ddr4Timing dramTiming = dram::Ddr4Timing::ddr4_1600();
+    /** Table I: the baseline RDIMM also ran with tRFC = 1250 ns. */
+    dram::RefreshRegisters refresh = dram::RefreshRegisters::nvdimmc();
+    driver::PmemDriverConfig pmem;
+    imc::ImcConfig imc;
+    cpu::CpuCacheModel::Params cpuCache;
+    cpu::MemcpyParams memcpy;
+    bool storeData = true;
+
+    static BaselineConfig paper();
+    static BaselineConfig scaledBench();
+};
+
+} // namespace nvdimmc::core
+
+#endif // NVDIMMC_CORE_SYSTEM_CONFIG_HH

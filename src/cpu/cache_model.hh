@@ -1,0 +1,111 @@
+/**
+ * @file
+ * CPU cache model for the DAX region.
+ *
+ * Tracks 64 B lines the CPU holds (with data and dirty state) so the
+ * paper's coherence hazards (§V-B) are real in the simulation:
+ *
+ *  - If the driver skips invalidation after a cachefill, subsequent
+ *    loads hit a *stale* cached copy instead of the FPGA's new data.
+ *  - If a dirty line is not flushed before a writeback command, the
+ *    FPGA reads the old bytes from DRAM and persists stale data.
+ *
+ * Loads miss to the iMC and allocate clean lines; stores are
+ * write-allocate and leave the line dirty until clflush (which writes
+ * it back through the iMC) — or until capacity eviction, which also
+ * writes it back at an arbitrary time, exactly the hazard the driver
+ * discipline must tolerate. Non-temporal stores (the libpmem write
+ * path) bypass the cache entirely.
+ */
+
+#ifndef NVDIMMC_CPU_CACHE_MODEL_HH
+#define NVDIMMC_CPU_CACHE_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "imc/imc.hh"
+
+namespace nvdimmc::cpu
+{
+
+using Callback = std::function<void()>;
+
+/** Cache statistics. */
+struct CacheStats
+{
+    Counter loadHits;
+    Counter loadMisses;
+    Counter stores;
+    Counter ntStores;
+    Counter flushes;
+    Counter flushWritebacks;
+    Counter invalidations;
+    Counter capacityEvictions;
+};
+
+/** The LLC-ish cache model. */
+class CpuCacheModel
+{
+  public:
+    struct Params
+    {
+        /** Line capacity (Platinum 8168: 33 MB LLC ~= 512 Ki lines). */
+        std::size_t capacityLines = 512 * 1024;
+        Tick hitLatency = 15 * kNs;
+        /** Software cost of one clflush instruction. */
+        Tick flushCost = 30 * kNs;
+    };
+
+    CpuCacheModel(EventQueue& eq, imc::Imc& imc, const Params& p);
+
+    /** Load one 64 B line (through the cache). */
+    void load(Addr addr, std::uint8_t* buf, Callback done);
+
+    /** Store one 64 B line (write-allocate, stays dirty). */
+    void store(Addr addr, const std::uint8_t* data, Callback done);
+
+    /** Non-temporal store: straight to the iMC, no allocation. The
+     *  cached copy (if any) is updated so the model stays coherent
+     *  with itself. @return false if the iMC WPQ is full. */
+    bool storeNt(Addr addr, const std::uint8_t* data, Callback done);
+
+    /** clflush: write back if dirty, then drop the line. */
+    void clflush(Addr addr, Callback done);
+
+    /** Drop a line without writeback (test hook / invd modelling). */
+    void invalidate(Addr addr);
+
+    /** @name Test introspection. */
+    /** @{ */
+    bool contains(Addr addr) const;
+    bool isDirty(Addr addr) const;
+    std::size_t residentLines() const { return lines_.size(); }
+    /** @} */
+
+    const CacheStats& stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        std::array<std::uint8_t, 64> data{};
+        bool dirty = false;
+    };
+
+    static Addr lineOf(Addr addr) { return addr & ~Addr{63}; }
+    void maybeEvictOne();
+
+    EventQueue& eq_;
+    imc::Imc& imc_;
+    Params params_;
+    std::unordered_map<Addr, Line> lines_;
+    CacheStats stats_;
+};
+
+} // namespace nvdimmc::cpu
+
+#endif // NVDIMMC_CPU_CACHE_MODEL_HH

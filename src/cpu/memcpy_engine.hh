@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bulk data movement between the CPU and the DAX region.
+ *
+ * A read streams 64 B line loads with bounded memory-level parallelism
+ * (the core's fill-buffer limit); a write follows the libpmem path:
+ * non-temporal stores that bypass the cache and post into the iMC's
+ * WPQ. Backpressure from the iMC queues is what makes multi-thread
+ * bandwidth saturate on the shared channel.
+ */
+
+#ifndef NVDIMMC_CPU_MEMCPY_ENGINE_HH
+#define NVDIMMC_CPU_MEMCPY_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cpu/cache_model.hh"
+#include "imc/imc.hh"
+
+namespace nvdimmc::cpu
+{
+
+/** Memcpy engine parameters. */
+struct MemcpyParams
+{
+    /** Outstanding line loads per bulk read (LFB-limited). */
+    unsigned parallelism = 10;
+    /** Issue gap between successive non-temporal stores. */
+    Tick ntIssueGap = 10 * kNs / 1; // 10 ns => ~6.4 GB/s per thread.
+    /**
+     * Use the iMC's analytic bulk model instead of per-line commands.
+     * Big sweeps opt in; data-integrity tests stay detailed. A test
+     * asserts the two modes agree on throughput.
+     */
+    bool bulkMode = false;
+};
+
+/** The engine; one per thread (MLP is per-core). */
+class MemcpyEngine
+{
+  public:
+    using Params = MemcpyParams;
+
+    MemcpyEngine(EventQueue& eq, imc::Imc& imc, CpuCacheModel* cache,
+                 const Params& p = Params{});
+
+    /**
+     * Read @p len bytes at @p addr into @p buf (nullable).
+     * @p via_cache routes through the CPU cache model (normal loads);
+     * otherwise lines are fetched uncached.
+     */
+    void read(Addr addr, std::uint32_t len, std::uint8_t* buf,
+              bool via_cache, Callback done);
+
+    /** Non-temporal write of @p len bytes (data nullable). */
+    void writeNt(Addr addr, std::uint32_t len, const std::uint8_t* data,
+                 Callback done);
+
+  private:
+    struct Transfer
+    {
+        Addr addr;
+        std::uint32_t len;
+        std::uint8_t* rbuf;
+        const std::uint8_t* wdata;
+        bool isWrite;
+        bool viaCache;
+        std::uint32_t issued = 0;
+        std::uint32_t completed = 0;
+        unsigned inFlight = 0;
+        bool stalled = false;
+        Callback done;
+    };
+
+    void pumpRead(const std::shared_ptr<Transfer>& t);
+    void pumpWrite(const std::shared_ptr<Transfer>& t);
+
+    EventQueue& eq_;
+    imc::Imc& imc_;
+    CpuCacheModel* cache_;
+    Params params_;
+};
+
+} // namespace nvdimmc::cpu
+
+#endif // NVDIMMC_CPU_MEMCPY_ENGINE_HH

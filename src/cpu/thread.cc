@@ -1,0 +1,41 @@
+#include "cpu/thread.hh"
+
+#include "common/logging.hh"
+
+namespace nvdimmc::cpu
+{
+
+WorkerThread::WorkerThread(EventQueue& eq, std::string name, OpFn op)
+    : eq_(eq), name_(std::move(name)), op_(std::move(op))
+{
+}
+
+void
+WorkerThread::start()
+{
+    NVDC_ASSERT(!running_, "WorkerThread started twice");
+    running_ = true;
+    stopping_ = false;
+    eq_.scheduleAfter(0, [this] { runOne(); });
+}
+
+void
+WorkerThread::runOne()
+{
+    if (stopping_) {
+        running_ = false;
+        return;
+    }
+    opStart_ = eq_.now();
+    op_([this](std::uint64_t bytes) {
+        latency_.record(eq_.now() - opStart_);
+        meter_.recordOp(bytes);
+        if (stopping_) {
+            running_ = false;
+            return;
+        }
+        eq_.scheduleAfter(0, [this] { runOne(); });
+    });
+}
+
+} // namespace nvdimmc::cpu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Closed-loop worker thread: runs one operation after another (as an
+ * FIO job with iodepth 1 does) and collects latency/throughput
+ * statistics. Thread count in an experiment = number of WorkerThread
+ * instances (the paper's 24-core host never starves 16 threads for
+ * CPU, so cores are not separately modelled).
+ */
+
+#ifndef NVDIMMC_CPU_THREAD_HH
+#define NVDIMMC_CPU_THREAD_HH
+
+#include <functional>
+#include <string>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace nvdimmc::cpu
+{
+
+/** The worker. */
+class WorkerThread
+{
+  public:
+    /** One operation; must eventually call the completion callback
+     *  exactly once with the number of bytes it moved. */
+    using OpFn =
+        std::function<void(std::function<void(std::uint64_t bytes)>)>;
+
+    WorkerThread(EventQueue& eq, std::string name, OpFn op);
+
+    /** Begin looping at the current tick. */
+    void start();
+
+    /** Finish the in-flight op, then halt. */
+    void stop() { stopping_ = true; }
+
+    bool running() const { return running_; }
+    const std::string& name() const { return name_; }
+
+    std::uint64_t opsCompleted() const { return meter_.ops(); }
+    std::uint64_t bytesMoved() const { return meter_.bytes(); }
+    const Histogram& opLatency() const { return latency_; }
+    const ThroughputMeter& meter() const { return meter_; }
+
+    /** Reset statistics (e.g. after a warm-up phase). */
+    void resetStats()
+    {
+        meter_.reset();
+        latency_.reset();
+    }
+
+  private:
+    void runOne();
+
+    EventQueue& eq_;
+    std::string name_;
+    OpFn op_;
+    bool running_ = false;
+    bool stopping_ = false;
+    Tick opStart_ = 0;
+
+    ThroughputMeter meter_;
+    Histogram latency_;
+};
+
+} // namespace nvdimmc::cpu
+
+#endif // NVDIMMC_CPU_THREAD_HH

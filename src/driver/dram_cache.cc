@@ -1,0 +1,188 @@
+#include "driver/dram_cache.hh"
+
+#include "common/logging.hh"
+
+namespace nvdimmc::driver
+{
+
+DramCache::DramCache(std::uint32_t slot_count,
+                     std::unique_ptr<ReplacementPolicy> policy)
+    : slotCount_(slot_count),
+      policy_(std::move(policy)),
+      slots_(slot_count),
+      pins_(slot_count, 0)
+{
+    NVDC_ASSERT(slot_count > 0, "empty DRAM cache");
+    policy_->reset(slot_count);
+    freeList_.reserve(slot_count);
+    for (std::uint32_t s = slot_count; s > 0; --s)
+        freeList_.push_back(s - 1);
+}
+
+std::optional<std::uint32_t>
+DramCache::lookup(std::uint64_t dev_page)
+{
+    auto it = pageToSlot_.find(dev_page);
+    if (it == pageToSlot_.end() ||
+        slots_[it->second].state != CacheSlot::State::Stable) {
+        stats_.misses.inc();
+        return std::nullopt;
+    }
+    stats_.hits.inc();
+    policy_->onAccess(it->second);
+    return it->second;
+}
+
+std::optional<std::uint32_t>
+DramCache::peek(std::uint64_t dev_page) const
+{
+    auto it = pageToSlot_.find(dev_page);
+    if (it == pageToSlot_.end() ||
+        slots_[it->second].state != CacheSlot::State::Stable) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::uint32_t
+DramCache::allocate(std::uint64_t dev_page)
+{
+    NVDC_ASSERT(!freeList_.empty(), "allocate with no free slot");
+    std::uint32_t s = freeList_.back();
+    freeList_.pop_back();
+    CacheSlot& slot = slots_[s];
+    slot.devPage = dev_page;
+    slot.state = CacheSlot::State::Busy;
+    slot.dirty = false;
+    pageToSlot_[dev_page] = s;
+    return s;
+}
+
+std::uint32_t
+DramCache::pickVictim()
+{
+    // The policy may momentarily propose a Busy or pinned slot
+    // (mid-fill, mid-eviction, or with an access in flight); skip it
+    // by telling the policy it is gone and retrying — it will be
+    // reinstalled when it stabilizes.
+    // Each rejected candidate is temporarily dropped from the policy,
+    // so the scan is bounded by the number of slots the policy holds.
+    std::vector<std::uint32_t> skipped;
+    std::uint32_t chosen = slotCount_;
+    const std::uint32_t budget = stableCount_;
+    for (std::uint32_t attempts = 0; attempts < budget; ++attempts) {
+        std::uint32_t v = policy_->pickVictim();
+        if (slots_[v].state == CacheSlot::State::Stable &&
+            pins_[v] == 0) {
+            chosen = v;
+            break;
+        }
+        policy_->onEvict(v);
+        if (slots_[v].state == CacheSlot::State::Stable)
+            skipped.push_back(v); // Pinned but stable: reinstall.
+    }
+    for (std::uint32_t s : skipped)
+        policy_->onInstall(s);
+    if (chosen == slotCount_)
+        panic("DramCache: no evictable victim available");
+    return chosen;
+}
+
+std::optional<std::uint32_t>
+DramCache::pickCleanVictim()
+{
+    std::vector<std::uint32_t> skipped;
+    std::optional<std::uint32_t> chosen;
+    const std::uint32_t budget = stableCount_;
+    for (std::uint32_t attempts = 0; attempts < budget; ++attempts) {
+        std::uint32_t v = policy_->pickVictim();
+        if (slots_[v].state == CacheSlot::State::Stable &&
+            pins_[v] == 0 && !slots_[v].dirty) {
+            chosen = v;
+            break;
+        }
+        policy_->onEvict(v);
+        if (slots_[v].state == CacheSlot::State::Stable)
+            skipped.push_back(v);
+    }
+    for (std::uint32_t s : skipped)
+        policy_->onInstall(s);
+    return chosen;
+}
+
+void
+DramCache::unpin(std::uint32_t slot)
+{
+    NVDC_ASSERT(pins_[slot] > 0, "unpin underflow");
+    --pins_[slot];
+}
+
+CacheSlot
+DramCache::beginEvict(std::uint32_t s)
+{
+    CacheSlot& slot = slots_[s];
+    NVDC_ASSERT(slot.state == CacheSlot::State::Stable,
+                "evicting a non-stable slot");
+    CacheSlot prior = slot;
+    if (slot.dirty)
+        stats_.dirtyEvictions.inc();
+    else
+        stats_.cleanEvictions.inc();
+    policy_->onEvict(s);
+    NVDC_ASSERT(stableCount_ > 0, "stable count underflow");
+    --stableCount_;
+    pageToSlot_.erase(slot.devPage);
+    slot.state = CacheSlot::State::Busy;
+    return prior;
+}
+
+void
+DramCache::finishEvict(std::uint32_t s)
+{
+    CacheSlot& slot = slots_[s];
+    NVDC_ASSERT(slot.state == CacheSlot::State::Busy,
+                "finishing eviction of a non-busy slot");
+    slot.state = CacheSlot::State::Free;
+    slot.dirty = false;
+    slot.devPage = 0;
+    freeList_.push_back(s);
+}
+
+void
+DramCache::rebind(std::uint32_t s, std::uint64_t dev_page)
+{
+    CacheSlot& slot = slots_[s];
+    NVDC_ASSERT(slot.state == CacheSlot::State::Busy,
+                "rebinding a non-busy slot");
+    slot.devPage = dev_page;
+    slot.dirty = false;
+    pageToSlot_[dev_page] = s;
+}
+
+void
+DramCache::finishFill(std::uint32_t s)
+{
+    CacheSlot& slot = slots_[s];
+    NVDC_ASSERT(slot.state == CacheSlot::State::Busy,
+                "finishing fill of a non-busy slot");
+    slot.state = CacheSlot::State::Stable;
+    ++stableCount_;
+    stats_.installs.inc();
+    policy_->onInstall(s);
+}
+
+void
+DramCache::markDirty(std::uint32_t s)
+{
+    NVDC_ASSERT(slots_[s].state != CacheSlot::State::Free,
+                "dirtying a free slot");
+    slots_[s].dirty = true;
+}
+
+void
+DramCache::markClean(std::uint32_t s)
+{
+    slots_[s].dirty = false;
+}
+
+} // namespace nvdimmc::driver

@@ -1,0 +1,677 @@
+#include "driver/nvdc_driver.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::driver
+{
+
+NvdcDriver::NvdcDriver(EventQueue& eq, cpu::CpuCacheModel& cache_model,
+                       cpu::MemcpyEngine& engine,
+                       const nvmc::ReservedLayout& layout,
+                       std::uint64_t backend_pages,
+                       const NvdcDriverConfig& cfg)
+    : eq_(eq),
+      cacheModel_(cache_model),
+      engine_(engine),
+      layout_(layout),
+      backendPages_(backend_pages),
+      cfg_(cfg),
+      cache_(layout.slotCount(),
+             ReplacementPolicy::create(cfg.policy, cfg.policySeed)),
+      driverLock_(eq),
+      everWritten_(backend_pages, false),
+      cpPhase_(layout.maxCommands, 0)
+{
+    NVDC_ASSERT(cfg.cpQueueDepth >= 1 &&
+                cfg.cpQueueDepth <= layout.maxCommands,
+                "driver CP depth exceeds the layout");
+    for (std::uint32_t i = 0; i < cfg.cpQueueDepth; ++i)
+        freeCpIndices_.push_back(i);
+}
+
+void
+NvdcDriver::markEverWritten(std::uint64_t first_page,
+                            std::uint64_t pages)
+{
+    for (std::uint64_t p = first_page; p < first_page + pages; ++p)
+        everWritten_[p] = true;
+}
+
+void
+NvdcDriver::read(Addr offset, std::uint32_t len, std::uint8_t* buf,
+                 Callback done)
+{
+    stats_.readOps.inc();
+    access(offset, len, buf, nullptr, false, std::move(done));
+}
+
+void
+NvdcDriver::write(Addr offset, std::uint32_t len,
+                  const std::uint8_t* data, Callback done)
+{
+    stats_.writeOps.inc();
+    access(offset, len, nullptr, data, true, std::move(done));
+}
+
+void
+NvdcDriver::accessContinue(Addr offset, std::uint32_t len,
+                           std::uint8_t* rbuf,
+                           const std::uint8_t* wdata, bool is_write,
+                           Callback done)
+{
+    access(offset, len, rbuf, wdata, is_write, std::move(done), false);
+}
+
+void
+NvdcDriver::access(Addr offset, std::uint32_t len, std::uint8_t* rbuf,
+                   const std::uint8_t* wdata, bool is_write,
+                   Callback done, bool first_in_op)
+{
+    NVDC_ASSERT(offset % 64 == 0 && len % 64 == 0 && len > 0,
+                "nvdc access must be 64B aligned");
+    NVDC_ASSERT(offset + len <= capacityBytes(),
+                "nvdc access beyond device capacity");
+
+    // Split into per-page segments served in order (as a synchronous
+    // pread/pwrite through a DAX mapping would be).
+    std::uint32_t first_len = std::min<std::uint64_t>(
+        len, kPageBytes - (offset % kPageBytes));
+
+    auto seg = std::make_shared<Segment>();
+    seg->devPage = offset / kPageBytes;
+    seg->pageOffset = static_cast<std::uint32_t>(offset % kPageBytes);
+    seg->len = first_len;
+    seg->rbuf = rbuf;
+    seg->wdata = wdata;
+    seg->isWrite = is_write;
+    seg->firstInOp = first_in_op;
+    seg->startedAt = eq_.now();
+
+    std::uint32_t rest = len - first_len;
+    if (rest == 0) {
+        seg->done = std::move(done);
+    } else {
+        Addr next_off = offset + first_len;
+        std::uint8_t* next_rbuf = rbuf ? rbuf + first_len : nullptr;
+        const std::uint8_t* next_wdata =
+            wdata ? wdata + first_len : nullptr;
+        seg->done = [this, next_off, rest, next_rbuf, next_wdata,
+                     is_write, cb = std::move(done)]() mutable {
+            accessContinue(next_off, rest, next_rbuf, next_wdata,
+                           is_write, std::move(cb));
+        };
+    }
+    doSegment(seg);
+}
+
+void
+NvdcDriver::doSegment(std::shared_ptr<Segment> seg)
+{
+    seg->startedAt = eq_.now();
+    auto slot = pageTable_.translate(seg->devPage);
+    if (slot) {
+        hitPath(seg, *slot);
+    } else {
+        stats_.pageFaults.inc();
+        if (cfg_.hypothetical)
+            hypotheticalFault(seg);
+        else
+            faultPath(seg);
+    }
+}
+
+void
+NvdcDriver::segmentMemcpy(std::shared_ptr<Segment> seg,
+                          std::uint32_t slot, Callback done)
+{
+    Addr addr = layout_.slotAddr(slot) + seg->pageOffset;
+    if (seg->isWrite) {
+        engine_.writeNt(addr, seg->len, seg->wdata, std::move(done));
+    } else {
+        engine_.read(addr, seg->len, seg->rbuf, true, std::move(done));
+    }
+}
+
+Tick
+NvdcDriver::postCost(const Segment& seg) const
+{
+    Tick lines = seg.len / 64;
+    if (seg.isWrite)
+        return cfg_.hitWriteCoherence + lines * cfg_.postWritePerLine;
+    return cfg_.hitPostCoherence + lines * cfg_.postReadPerLine;
+}
+
+Tick
+NvdcDriver::lockCost(const Segment& seg) const
+{
+    return cfg_.lockHold + (seg.len / 64) * cfg_.lockPerLine;
+}
+
+void
+NvdcDriver::finishHit(std::shared_ptr<Segment> seg)
+{
+    eq_.scheduleAfter(postCost(*seg), [this, seg] {
+        stats_.hitLatency.record(eq_.now() - seg->startedAt);
+        seg->done();
+    });
+}
+
+void
+NvdcDriver::finishFault(std::shared_ptr<Segment> seg)
+{
+    eq_.scheduleAfter(postCost(*seg), [this, seg] {
+        stats_.faultLatency.record(eq_.now() - seg->startedAt);
+        seg->done();
+    });
+}
+
+void
+NvdcDriver::hitPath(std::shared_ptr<Segment> seg, std::uint32_t slot)
+{
+    Tick pre = seg->firstInOp ? cfg_.hitPreOverhead : 0;
+    eq_.scheduleAfter(pre, [this, seg, slot] {
+        driverLock_.acquire([this, seg, slot] {
+            Tick hold = seg->firstInOp ? lockCost(*seg)
+                                       : cfg_.continuationLockHold;
+            eq_.scheduleAfter(hold, [this, seg, slot] {
+                // Re-validate under the lock: the slot may have been
+                // evicted while we waited.
+                auto cur = cache_.lookup(seg->devPage);
+                if (!cur || *cur != slot) {
+                    driverLock_.release();
+                    stats_.pageFaults.inc();
+                    if (cfg_.hypothetical)
+                        hypotheticalFault(seg);
+                    else
+                        faultPath(seg);
+                    return;
+                }
+                if (seg->isWrite)
+                    everWritten_[seg->devPage] = true;
+                bool meta_dirty = false;
+                if (seg->isWrite && cfg_.trackDirty &&
+                    !cache_.slot(slot).dirty) {
+                    cache_.markDirty(slot);
+                    meta_dirty = true;
+                }
+                // Keep the slot from being evicted under our feet
+                // while the data moves.
+                cache_.pin(slot);
+                driverLock_.release();
+
+                auto after_meta = [this, seg, slot] {
+                    segmentMemcpy(seg, slot, [this, seg, slot] {
+                        cache_.unpin(slot);
+                        finishHit(seg);
+                    });
+                };
+                if (meta_dirty)
+                    writeMetadata(slot, after_meta);
+                else
+                    after_meta();
+            });
+        });
+    });
+}
+
+void
+NvdcDriver::hypotheticalFault(std::shared_ptr<Segment> seg)
+{
+    // Paper §VII-D1: the modified driver bypasses the FPGA entirely
+    // and waits three programmable delays (one per refresh-window step
+    // a real uncached access needs).
+    driverLock_.acquire([this, seg] {
+        eq_.scheduleAfter(cfg_.faultOverhead, [this, seg] {
+            auto cur = cache_.peek(seg->devPage);
+            if (cur) {
+                driverLock_.release();
+                hitPath(seg, *cur);
+                return;
+            }
+            cache_.lookup(seg->devPage); // Record the miss.
+            std::uint32_t slot;
+            if (cache_.hasFree()) {
+                slot = cache_.allocate(seg->devPage);
+            } else {
+                std::uint32_t victim = cache_.pickVictim();
+                CacheSlot prior = cache_.beginEvict(victim);
+                pageTable_.unmap(prior.devPage);
+                cache_.rebind(victim, seg->devPage);
+                slot = victim;
+            }
+            driverLock_.release();
+
+            eq_.scheduleAfter(3 * cfg_.hypotheticalTd,
+                              [this, seg, slot] {
+                driverLock_.acquire([this, seg, slot] {
+                    cache_.finishFill(slot);
+                    if (seg->isWrite || !cfg_.trackDirty)
+                        cache_.markDirty(slot);
+                    pageTable_.map(seg->devPage, slot);
+                    cache_.pin(slot);
+                    driverLock_.release();
+                    segmentMemcpy(seg, slot, [this, seg, slot] {
+                        cache_.unpin(slot);
+                        finishFault(seg);
+                    });
+                });
+            });
+        });
+    });
+}
+
+void
+NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
+{
+    driverLock_.acquire([this, seg] {
+        eq_.scheduleAfter(cfg_.faultOverhead, [this, seg] {
+            // Someone else (or a prefetch) may have filled the page
+            // while we waited.
+            auto cur = cache_.peek(seg->devPage);
+            if (cur) {
+                driverLock_.release();
+                hitPath(seg, *cur);
+                return;
+            }
+            auto pending = pendingFills_.find(seg->devPage);
+            if (pending != pendingFills_.end()) {
+                stats_.prefetchHits.inc();
+                pending->second.push_back(
+                    [this, seg] { doSegment(seg); });
+                driverLock_.release();
+                return;
+            }
+            auto pending_wb = pendingWritebacks_.find(seg->devPage);
+            if (pending_wb != pendingWritebacks_.end()) {
+                // The page's latest data is still on its way to the
+                // NVM; refaulting now would fill stale bytes.
+                pending_wb->second.push_back(
+                    [this, seg] { doSegment(seg); });
+                driverLock_.release();
+                return;
+            }
+
+            cache_.lookup(seg->devPage); // Record the miss.
+            pendingFills_[seg->devPage]; // Claim the fill.
+
+            bool sequential_stream =
+                cfg_.prefetchEnabled &&
+                lastFaultPage_ != ~std::uint64_t{0} &&
+                seg->devPage == lastFaultPage_ + 1;
+            lastFaultPage_ = seg->devPage;
+
+            bool need_wb = false;
+            std::uint64_t wb_page = 0;
+            std::uint32_t slot;
+            if (cache_.hasFree()) {
+                slot = cache_.allocate(seg->devPage);
+            } else {
+                std::uint32_t victim = cache_.pickVictim();
+                CacheSlot prior = cache_.beginEvict(victim);
+                pageTable_.unmap(prior.devPage);
+                cache_.rebind(victim, seg->devPage);
+                slot = victim;
+                need_wb = prior.dirty || !cfg_.trackDirty;
+                wb_page = prior.devPage;
+                if (need_wb)
+                    pendingWritebacks_[wb_page];
+            }
+            driverLock_.release();
+
+            // The write-allocate fast path (zero-fill, no CP) only
+            // applies when a free slot exists; on the eviction path
+            // the PoC driver always runs the writeback+cachefill pair
+            // (paper §VII-B1: "a pair of writeback and cachefill
+            // operations is necessary for every 4 KB write" once the
+            // cache is full).
+            bool zero_fill_pre =
+                !everWritten_[seg->devPage] && cache_.hasFree();
+
+            // Step 3 (after the CP work): install and serve.
+            auto install = [this, seg, slot, zero_fill_pre] {
+                auto after_inval = [this, seg, slot] {
+                    driverLock_.acquire([this, seg, slot] {
+                        cache_.finishFill(slot);
+                        // Without dirty tracking the PoC assumes every
+                        // cached page is dirty (it writes all victims
+                        // back and the power dump must save them).
+                        if (seg->isWrite || !cfg_.trackDirty)
+                            cache_.markDirty(slot);
+                        pageTable_.map(seg->devPage, slot);
+                        cache_.pin(slot);
+                        driverLock_.release();
+                        writeMetadata(slot, [this, seg, slot] {
+                            fillCompleted(seg->devPage);
+                            segmentMemcpy(seg, slot, [this, seg, slot] {
+                                cache_.unpin(slot);
+                                finishFault(seg);
+                            });
+                        });
+                    });
+                };
+                // A zero-filled slot was written by the CPU itself;
+                // only FPGA-filled data needs the invalidation pass.
+                if (cfg_.invalidateAfterFill && !zero_fill_pre)
+                    invalidateSlotLines(slot, after_inval);
+                else
+                    after_inval();
+            };
+
+            // Never-written block: no CP cachefill needed, just zero
+            // the slot (the writeback of the victim, if any, still
+            // goes over the CP channel).
+            bool zero_fill = zero_fill_pre;
+            if (seg->isWrite)
+                everWritten_[seg->devPage] = true;
+
+            // Step 2: the CP transactions.
+            auto do_cp = [this, seg, slot, need_wb, wb_page, install,
+                          zero_fill] {
+                if (need_wb && cfg_.mergedWbCf && !zero_fill) {
+                    nvmc::CpCommand cmd;
+                    cmd.opcode = nvmc::CpOpcode::WritebackCachefill;
+                    cmd.dramSlot = slot;
+                    cmd.nandPage = wb_page;
+                    cmd.dramSlot2 = slot;
+                    cmd.nandPage2 = seg->devPage;
+                    stats_.mergedCommands.inc();
+                    cpTransaction(cmd, [this, wb_page, install] {
+                        writebackCompleted(wb_page);
+                        install();
+                    });
+                    return;
+                }
+                auto fill = [this, seg, slot, install, zero_fill] {
+                    if (zero_fill) {
+                        eq_.scheduleAfter(cfg_.zeroFillCost, install);
+                        return;
+                    }
+                    nvmc::CpCommand cmd;
+                    cmd.opcode = nvmc::CpOpcode::Cachefill;
+                    cmd.dramSlot = slot;
+                    cmd.nandPage = seg->devPage;
+                    stats_.cachefills.inc();
+                    cpTransaction(cmd, install);
+                };
+                if (need_wb) {
+                    nvmc::CpCommand cmd;
+                    cmd.opcode = nvmc::CpOpcode::Writeback;
+                    cmd.dramSlot = slot;
+                    cmd.nandPage = wb_page;
+                    stats_.writebacks.inc();
+                    cpTransaction(cmd, [this, wb_page, fill] {
+                        writebackCompleted(wb_page);
+                        fill();
+                    });
+                } else {
+                    fill();
+                }
+            };
+
+            // Step 1: coherence — push any CPU-cached lines of the
+            // victim slot out to DRAM before the FPGA reads it.
+            if (need_wb && cfg_.flushBeforeWriteback)
+                flushSlotLines(slot, do_cp);
+            else
+                do_cp();
+
+            if (sequential_stream)
+                maybePrefetch(seg->devPage);
+        });
+    });
+}
+
+void
+NvdcDriver::maybePrefetch(std::uint64_t page)
+{
+    for (std::uint32_t k = 1; k <= cfg_.prefetchDepth; ++k) {
+        std::uint64_t next = page + k;
+        if (next >= backendPages_)
+            break;
+        prefetchFill(next);
+    }
+}
+
+void
+NvdcDriver::prefetchFill(std::uint64_t page)
+{
+    // Deferred so the demand fault's CP command is queued first.
+    eq_.scheduleAfter(0, [this, page] {
+        driverLock_.acquire([this, page] {
+            if (cache_.peek(page) || pendingFills_.count(page) ||
+                pendingWritebacks_.count(page)) {
+                driverLock_.release();
+                return;
+            }
+            if (!everWritten_[page]) {
+                driverLock_.release();
+                return; // Nothing to fetch.
+            }
+            std::uint32_t slot;
+            if (cache_.hasFree()) {
+                slot = cache_.allocate(page);
+            } else {
+                // A prefetch may reclaim a CLEAN victim, but must
+                // never trigger a writeback of its own.
+                auto clean = cache_.pickCleanVictim();
+                if (!clean) {
+                    driverLock_.release();
+                    return;
+                }
+                CacheSlot prior = cache_.beginEvict(*clean);
+                pageTable_.unmap(prior.devPage);
+                cache_.rebind(*clean, page);
+                slot = *clean;
+            }
+            pendingFills_[page];
+            driverLock_.release();
+            stats_.prefetchesIssued.inc();
+
+            nvmc::CpCommand cmd;
+            cmd.opcode = nvmc::CpOpcode::Cachefill;
+            cmd.dramSlot = slot;
+            cmd.nandPage = page;
+            stats_.cachefills.inc();
+            cpTransaction(cmd, [this, page, slot] {
+                auto finish = [this, page, slot] {
+                    driverLock_.acquire([this, page, slot] {
+                        cache_.finishFill(slot);
+                        if (!cfg_.trackDirty)
+                            cache_.markDirty(slot);
+                        pageTable_.map(page, slot);
+                        driverLock_.release();
+                        writeMetadata(slot, [this, page] {
+                            fillCompleted(page);
+                        });
+                    });
+                };
+                if (cfg_.invalidateAfterFill)
+                    invalidateSlotLines(slot, finish);
+                else
+                    finish();
+            });
+        });
+    });
+}
+
+void
+NvdcDriver::flushSlotLines(std::uint32_t slot, Callback done)
+{
+    Addr base = layout_.slotAddr(slot);
+    auto step = std::make_shared<std::function<void(std::uint32_t)>>();
+    *step = [this, base, done = std::move(done),
+             step](std::uint32_t line) {
+        if (line >= kPageBytes / 64) {
+            done();
+            return;
+        }
+        cacheModel_.clflush(base + std::uint64_t{line} * 64,
+                            [step, line] { (*step)(line + 1); });
+    };
+    (*step)(0);
+}
+
+void
+NvdcDriver::invalidateSlotLines(std::uint32_t slot, Callback done)
+{
+    // Invalidation uses clflush too; the lines are clean (the CPU did
+    // not write them since the fill), so no write-back traffic — just
+    // instruction cost, modelled as one flush per line.
+    flushSlotLines(slot, std::move(done));
+}
+
+void
+NvdcDriver::writeMetadata(std::uint32_t slot, Callback done)
+{
+    std::uint32_t first = (slot / 4) * 4;
+    Addr addr = layout_.metadataAddr(first);
+    NVDC_ASSERT(addr % 64 == 0, "metadata line misaligned");
+
+    std::array<std::uint8_t, 64> line{};
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        std::uint32_t s = first + i;
+        if (s >= cache_.slotCount())
+            break;
+        const CacheSlot& cs = cache_.slot(s);
+        nvmc::SlotMetadata m;
+        m.nandPage = cs.devPage;
+        m.valid = cs.state != CacheSlot::State::Free;
+        m.dirty = cs.dirty;
+        nvmc::encodeSlotMetadata(m, line.data() + i * 16);
+    }
+
+    auto data = std::make_shared<std::array<std::uint8_t, 64>>(line);
+    cacheModel_.store(addr, data->data(), [this, addr, data,
+                                           cb = std::move(done)] {
+        cacheModel_.clflush(addr, [cb, data] { cb(); });
+    });
+}
+
+void
+NvdcDriver::acquireCpIndex(std::function<void(std::uint32_t)> granted)
+{
+    if (!freeCpIndices_.empty()) {
+        std::uint32_t i = freeCpIndices_.back();
+        freeCpIndices_.pop_back();
+        granted(i);
+        return;
+    }
+    cpWaiters_.push_back(std::move(granted));
+}
+
+void
+NvdcDriver::releaseCpIndex(std::uint32_t index)
+{
+    if (!cpWaiters_.empty()) {
+        auto next = std::move(cpWaiters_.front());
+        cpWaiters_.pop_front();
+        eq_.scheduleAfter(0, [next = std::move(next), index] {
+            next(index);
+        });
+        return;
+    }
+    freeCpIndices_.push_back(index);
+}
+
+std::uint8_t
+NvdcDriver::nextPhase(std::uint32_t index)
+{
+    std::uint8_t p = cpPhase_[index];
+    p = (p == 255) ? 1 : p + 1;
+    cpPhase_[index] = p;
+    return p;
+}
+
+void
+NvdcDriver::cpTransaction(nvmc::CpCommand cmd, Callback done)
+{
+    acquireCpIndex([this, cmd, done = std::move(done)](
+                       std::uint32_t index) mutable {
+        eq_.scheduleAfter(cfg_.cpWriteCost, [this, cmd, index,
+                                             done = std::move(done)]()
+                              mutable {
+            nvmc::CpCommand final_cmd = cmd;
+            final_cmd.phase = nextPhase(index);
+
+            auto line = std::make_shared<
+                std::array<std::uint8_t, 64>>();
+            nvmc::encodeCpCommand(final_cmd, line->data());
+
+            Addr addr = layout_.commandAddr(index);
+            std::uint8_t phase = final_cmd.phase;
+            // Store the command, then clflush + sfence so the FPGA's
+            // next poll sees it in DRAM.
+            cacheModel_.store(addr, line->data(), [this, addr, line,
+                                                   index, phase,
+                                                   done =
+                                                       std::move(done)]()
+                                  mutable {
+                cacheModel_.clflush(addr, [this, index, phase, line,
+                                           done = std::move(done)]()
+                                        mutable {
+                    pollAck(index, phase, [this, index,
+                                           done = std::move(done)] {
+                        releaseCpIndex(index);
+                        done();
+                    });
+                });
+            });
+        });
+    });
+}
+
+void
+NvdcDriver::pollAck(std::uint32_t index, std::uint8_t phase,
+                    Callback done)
+{
+    stats_.ackPolls.inc();
+    Addr addr = layout_.ackAddr(index);
+    // Invalidate first: the FPGA writes the ack behind the CPU
+    // cache's back (paper §V-B).
+    cacheModel_.invalidate(addr);
+    auto buf = std::make_shared<std::array<std::uint8_t, 64>>();
+    cacheModel_.load(addr, buf->data(), [this, index, phase, buf,
+                                         done = std::move(done)]()
+                         mutable {
+        nvmc::CpAck ack = nvmc::decodeCpAck(buf->data());
+        if (ack.phase == phase && ack.status == 1) {
+            done();
+            return;
+        }
+        eq_.scheduleAfter(cfg_.ackPollInterval,
+                          [this, index, phase,
+                           done = std::move(done)]() mutable {
+            pollAck(index, phase, std::move(done));
+        });
+    });
+}
+
+void
+NvdcDriver::writebackCompleted(std::uint64_t dev_page)
+{
+    auto it = pendingWritebacks_.find(dev_page);
+    if (it == pendingWritebacks_.end())
+        return;
+    auto waiters = std::move(it->second);
+    pendingWritebacks_.erase(it);
+    for (auto& w : waiters)
+        eq_.scheduleAfter(0, std::move(w));
+}
+
+void
+NvdcDriver::fillCompleted(std::uint64_t dev_page)
+{
+    auto it = pendingFills_.find(dev_page);
+    if (it == pendingFills_.end())
+        return;
+    auto waiters = std::move(it->second);
+    pendingFills_.erase(it);
+    for (auto& w : waiters)
+        eq_.scheduleAfter(0, std::move(w));
+}
+
+} // namespace nvdimmc::driver

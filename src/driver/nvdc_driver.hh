@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The nvdc device driver model (paper §IV-B/C, Fig 6).
+ *
+ * Exposes a 120 GB byte-addressable device backed by the NVM media,
+ * fronted by the DRAM cache. Accesses to pages with valid PTEs go
+ * straight to DRAM (plus the driver's mapping-management and
+ * cache-coherence overheads the paper measures at 24-30%); faults take
+ * the cachefill/writeback path over the CP area, serialized by the CP
+ * queue depth (1 on the PoC) and a global driver lock — the two
+ * resources that shape the paper's thread-scaling curves (Fig 9).
+ *
+ * Coherence discipline (paper §V-B): the driver clflushes a victim
+ * slot's lines before requesting a writeback and invalidates a slot's
+ * lines after a cachefill. Both steps can be disabled for failure
+ * injection; the CPU cache model then serves stale data, as real
+ * hardware would.
+ */
+
+#ifndef NVDIMMC_DRIVER_NVDC_DRIVER_HH
+#define NVDIMMC_DRIVER_NVDC_DRIVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/sim_mutex.hh"
+#include "common/stats.hh"
+#include "cpu/cache_model.hh"
+#include "cpu/memcpy_engine.hh"
+#include "driver/dram_cache.hh"
+#include "driver/page_table.hh"
+#include "nvmc/cp_protocol.hh"
+
+namespace nvdimmc::driver
+{
+
+using Callback = std::function<void()>;
+
+/** Driver configuration (timing constants: DESIGN.md §6). */
+struct NvdcDriverConfig
+{
+    /** @name Hit path.
+     * Costs have a fixed per-op part and a per-64B-line part: the
+     * coherence instructions (clflush/sfence) and mapping-management
+     * work scale with the bytes touched, which is why the paper's
+     * driver overhead is ~25% at 4 KB yet tiny for 128 B accesses
+     * (Fig 10). 4 KB totals: lock ~870 ns, read post ~240 ns, write
+     * post ~680 ns. */
+    /** @{ */
+    Tick hitPreOverhead = 150 * kNs;    ///< PTE walk / entry.
+    /** Continuation pages of a multi-page op skip the per-op entry
+     *  and pay only a small per-page mapping touch (the paper's
+     *  64 KB ops run at ~1.3 us per 4 KB page, below the 4 KB op
+     *  cost). */
+    Tick continuationLockHold = 100 * kNs;
+    Tick lockHold = 100 * kNs;          ///< Lock base cost.
+    Tick lockPerLine = 10 * kNs;        ///< Mapping mgmt per line.
+    Tick hitPostCoherence = 50 * kNs;   ///< Read post base (sfence).
+    Tick postReadPerLine = 3 * kNs;
+    /** Writes pay the full clflush/sfence persistence discipline. */
+    Tick hitWriteCoherence = 100 * kNs; ///< Write post base.
+    Tick postWritePerLine = 6 * kNs;
+    /** @} */
+
+    /** @name Fault path. */
+    /** @{ */
+    Tick faultOverhead = 1500 * kNs;   ///< Fault entry + slot mgmt.
+    Tick cpWriteCost = 300 * kNs;      ///< Compose + store CP command.
+    Tick ackPollInterval = 500 * kNs;
+    /** Filling a slot for a never-written block needs no NAND read:
+     *  the driver just zeroes the slot (CPU stores). This is why the
+     *  paper's file copy runs at SSD speed while free slots last
+     *  (Fig 7). */
+    Tick zeroFillCost = 900 * kNs;
+    /** @} */
+
+    /** Track dirtiness (the PoC does not: every eviction writes
+     *  back). */
+    bool trackDirty = false;
+    /** Coherence discipline switches (failure injection). */
+    bool flushBeforeWriteback = true;
+    bool invalidateAfterFill = true;
+    /** Merge writeback+cachefill into one CP command (ablation). */
+    bool mergedWbCf = false;
+    /** CP queue depth the driver uses (<= layout.maxCommands). */
+    std::uint32_t cpQueueDepth = 1;
+
+    /** @name Sequential prefetch (paper §VII-C, ref [37]).
+     * On a fault that continues a sequential miss stream, enqueue
+     * background cachefills for the next pages. Only pays off with
+     * cpQueueDepth > 1 (the PoC's depth-1 CP serializes everything).
+     */
+    /** @{ */
+    bool prefetchEnabled = false;
+    std::uint32_t prefetchDepth = 2;
+    /** @} */
+
+    /** @name Hypothetical device mode (paper §VII-D1, Fig 12). */
+    /** @{ */
+    bool hypothetical = false;
+    Tick hypotheticalTd = 0; ///< The programmable delay tD.
+    /** @} */
+
+    std::string policy = "lrc";
+    std::uint64_t policySeed = 1;
+};
+
+/** Driver statistics. */
+struct NvdcDriverStats
+{
+    Counter readOps;
+    Counter writeOps;
+    Counter pageFaults;
+    Counter cachefills;
+    Counter writebacks;
+    Counter mergedCommands;
+    Counter ackPolls;
+    Counter prefetchesIssued;
+    Counter prefetchHits; ///< Demand faults absorbed by a prefetch.
+    Histogram hitLatency;   ///< Per-segment, PTE-valid path.
+    Histogram faultLatency; ///< Per-segment, fault path.
+};
+
+/** The driver. */
+class NvdcDriver
+{
+  public:
+    static constexpr std::uint32_t kPageBytes = 4096;
+
+    /**
+     * @param backend_pages logical device size in 4 KB pages (the
+     *        FTL's 120 GB view).
+     */
+    NvdcDriver(EventQueue& eq, cpu::CpuCacheModel& cache_model,
+               cpu::MemcpyEngine& engine,
+               const nvmc::ReservedLayout& layout,
+               std::uint64_t backend_pages,
+               const NvdcDriverConfig& cfg);
+
+    /** Device capacity in bytes (the /dev/nvdc0 size). */
+    std::uint64_t capacityBytes() const
+    {
+        return backendPages_ * kPageBytes;
+    }
+
+    /** @name Block-device style asynchronous access. */
+    /** @{ */
+    void read(Addr offset, std::uint32_t len, std::uint8_t* buf,
+              Callback done);
+    void write(Addr offset, std::uint32_t len, const std::uint8_t* data,
+               Callback done);
+    /** @} */
+
+    /**
+     * Declare a device range as holding data (e.g. after simulated
+     * preconditioning): faults on it perform real cachefills instead
+     * of the zero-fill fast path.
+     */
+    void markEverWritten(std::uint64_t first_page, std::uint64_t pages);
+
+    /** @name Introspection (diagnostics / tests). */
+    /** @{ */
+    bool lockHeld() const { return driverLock_.held(); }
+    std::size_t lockWaiters() const { return driverLock_.waiters(); }
+    std::size_t pendingFillCount() const { return pendingFills_.size(); }
+    std::size_t pendingWritebackCount() const
+    {
+        return pendingWritebacks_.size();
+    }
+    /** @} */
+
+    DramCache& cache() { return cache_; }
+    const DramCache& cache() const { return cache_; }
+    PageTable& pageTable() { return pageTable_; }
+    const NvdcDriverStats& stats() const { return stats_; }
+    const NvdcDriverConfig& config() const { return cfg_; }
+    const nvmc::ReservedLayout& layout() const { return layout_; }
+
+  private:
+    struct Segment
+    {
+        std::uint64_t devPage;
+        std::uint32_t pageOffset;
+        std::uint32_t len;
+        std::uint8_t* rbuf;
+        const std::uint8_t* wdata;
+        bool isWrite;
+        bool firstInOp = true;
+        Tick startedAt;
+        Callback done;
+    };
+
+    void access(Addr offset, std::uint32_t len, std::uint8_t* rbuf,
+                const std::uint8_t* wdata, bool is_write,
+                Callback done, bool first_in_op = true);
+    void accessContinue(Addr offset, std::uint32_t len,
+                        std::uint8_t* rbuf, const std::uint8_t* wdata,
+                        bool is_write, Callback done);
+    void doSegment(std::shared_ptr<Segment> seg);
+    void hitPath(std::shared_ptr<Segment> seg, std::uint32_t slot);
+    void faultPath(std::shared_ptr<Segment> seg);
+    void hypotheticalFault(std::shared_ptr<Segment> seg);
+    void segmentMemcpy(std::shared_ptr<Segment> seg, std::uint32_t slot,
+                       Callback done);
+    void finishHit(std::shared_ptr<Segment> seg);
+    void finishFault(std::shared_ptr<Segment> seg);
+    Tick postCost(const Segment& seg) const;
+    Tick lockCost(const Segment& seg) const;
+
+    /** Flush (or invalidate) every line of a slot, chained. */
+    void flushSlotLines(std::uint32_t slot, Callback done);
+    void invalidateSlotLines(std::uint32_t slot, Callback done);
+
+    /** Write the metadata line covering @p slot into DRAM. */
+    void writeMetadata(std::uint32_t slot, Callback done);
+
+    /** @name CP channel. */
+    /** @{ */
+    void acquireCpIndex(std::function<void(std::uint32_t)> granted);
+    void releaseCpIndex(std::uint32_t index);
+    void cpTransaction(nvmc::CpCommand cmd, Callback done);
+    void pollAck(std::uint32_t index, std::uint8_t phase, Callback done);
+    std::uint8_t nextPhase(std::uint32_t index);
+    /** @} */
+
+    /** Complete a pending fill and wake waiters. */
+    void fillCompleted(std::uint64_t dev_page);
+
+    /** Kick sequential prefetches after a demand fault on @p page. */
+    void maybePrefetch(std::uint64_t page);
+    /** Background fill of one page (no app segment attached). */
+    void prefetchFill(std::uint64_t page);
+
+    EventQueue& eq_;
+    cpu::CpuCacheModel& cacheModel_;
+    cpu::MemcpyEngine& engine_;
+    nvmc::ReservedLayout layout_;
+    std::uint64_t backendPages_;
+    NvdcDriverConfig cfg_;
+
+    DramCache cache_;
+    PageTable pageTable_;
+    SimMutex driverLock_;
+    /** Blocks that have ever been written (or declared written via
+     *  markEverWritten); reads of other blocks are zero-fills. */
+    std::vector<bool> everWritten_;
+
+    std::vector<std::uint32_t> freeCpIndices_;
+    std::deque<std::function<void(std::uint32_t)>> cpWaiters_;
+    std::vector<std::uint8_t> cpPhase_;
+
+    /** Pages whose fill is in flight -> waiters to retry. */
+    std::unordered_map<std::uint64_t, std::vector<Callback>>
+        pendingFills_;
+
+    /** Last demand-faulted page (sequential-stream detector). */
+    std::uint64_t lastFaultPage_ = ~std::uint64_t{0};
+
+    /**
+     * Pages whose *writeback* is in flight: a re-fault on such a page
+     * must wait, or its cachefill would read the NAND before the new
+     * data lands there.
+     */
+    std::unordered_map<std::uint64_t, std::vector<Callback>>
+        pendingWritebacks_;
+
+    void writebackCompleted(std::uint64_t dev_page);
+
+    NvdcDriverStats stats_;
+};
+
+} // namespace nvdimmc::driver
+
+#endif // NVDIMMC_DRIVER_NVDC_DRIVER_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * NVDIMM-N model (paper §VIII / JEDEC): a regular DRAM DIMM with NAND
+ * on the side, used only for a full backup on power failure (powered
+ * by super-capacitors) and a restore at the next boot. Runtime
+ * accesses are plain DRAM loads/stores — full speed, but capacity is
+ * DRAM-sized and the super-cap energy budget bounds how much can be
+ * saved.
+ */
+
+#ifndef NVDIMMC_DRIVER_NVDIMMN_DRIVER_HH
+#define NVDIMMC_DRIVER_NVDIMMN_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "cpu/memcpy_engine.hh"
+#include "dram/dram_device.hh"
+#include "nvm/znand.hh"
+
+namespace nvdimmc::driver
+{
+
+/** NVDIMM-N configuration. */
+struct NvdimmNConfig
+{
+    /** Per-op software cost (same DAX stack as the baseline). */
+    Tick opOverhead = 250 * kNs;
+    /**
+     * Super-capacitor energy budget expressed as the number of 4 KB
+     * pages that can be flushed before the caps run dry. 0 = save
+     * everything (ideally sized caps).
+     */
+    std::uint64_t backupEnergyPages = 0;
+};
+
+/** NVDIMM-N statistics. */
+struct NvdimmNStats
+{
+    Counter readOps;
+    Counter writeOps;
+    Counter pagesBackedUp;
+    Counter pagesLostToEnergy;
+    Counter pagesRestored;
+};
+
+/** The NVDIMM-N device. */
+class NvdimmNDriver
+{
+  public:
+    static constexpr std::uint32_t kPageBytes = 4096;
+
+    NvdimmNDriver(EventQueue& eq, cpu::MemcpyEngine& engine,
+                  dram::DramDevice& dram, nvm::ZNand& nand,
+                  const NvdimmNConfig& cfg);
+
+    /** DRAM capacity == device capacity (unlike NVDIMM-C/F). */
+    std::uint64_t capacityBytes() const
+    {
+        return dram_.addressMap().capacity();
+    }
+
+    /** @name Runtime access: plain DRAM. */
+    /** @{ */
+    void read(Addr offset, std::uint32_t len, std::uint8_t* buf,
+              std::function<void()> done);
+    void write(Addr offset, std::uint32_t len, const std::uint8_t* data,
+               std::function<void()> done);
+    /** @} */
+
+    /**
+     * Power failure: copy DRAM contents into the NAND on super-cap
+     * power (post-mortem, no simulated time). Pages beyond the energy
+     * budget are lost. @return pages saved.
+     */
+    std::uint64_t powerFailBackup();
+
+    /**
+     * Boot-time restore: copy the NAND backup into the (blank) DRAM.
+     * @return pages restored.
+     */
+    std::uint64_t restore();
+
+    const NvdimmNStats& stats() const { return stats_; }
+
+  private:
+    EventQueue& eq_;
+    cpu::MemcpyEngine& engine_;
+    dram::DramDevice& dram_;
+    nvm::ZNand& nand_;
+    NvdimmNConfig cfg_;
+    NvdimmNStats stats_;
+};
+
+} // namespace nvdimmc::driver
+
+#endif // NVDIMMC_DRIVER_NVDIMMN_DRIVER_HH

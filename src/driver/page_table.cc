@@ -1,0 +1,2 @@
+// PageTable is header-only.
+#include "driver/page_table.hh"

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * MMU-side view of the DAX mapping (paper Fig 6): which device pages
+ * currently have valid PTEs pointing at DRAM cache slots. An access to
+ * a page with a valid PTE bypasses the driver entirely; an invalid
+ * PTE takes the page-fault path into the nvdc fault handler.
+ */
+
+#ifndef NVDIMMC_DRIVER_PAGE_TABLE_HH
+#define NVDIMMC_DRIVER_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.hh"
+
+namespace nvdimmc::driver
+{
+
+/** The DAX page table. */
+class PageTable
+{
+  public:
+    /** @return the mapped slot, or nullopt (-> page fault). */
+    std::optional<std::uint32_t>
+    translate(std::uint64_t dev_page) const
+    {
+        auto it = map_.find(dev_page);
+        if (it == map_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    bool isMapped(std::uint64_t dev_page) const
+    {
+        return map_.count(dev_page) != 0;
+    }
+
+    void
+    map(std::uint64_t dev_page, std::uint32_t slot)
+    {
+        map_[dev_page] = slot;
+        maps_.inc();
+    }
+
+    /** Invalidate (TLB shootdown happens in the driver's timing). */
+    void
+    unmap(std::uint64_t dev_page)
+    {
+        map_.erase(dev_page);
+        unmaps_.inc();
+    }
+
+    std::size_t mappedCount() const { return map_.size(); }
+    std::uint64_t totalMaps() const { return maps_.value(); }
+    std::uint64_t totalUnmaps() const { return unmaps_.value(); }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint32_t> map_;
+    Counter maps_;
+    Counter unmaps_;
+};
+
+} // namespace nvdimmc::driver
+
+#endif // NVDIMMC_DRIVER_PAGE_TABLE_HH

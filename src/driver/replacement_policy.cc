@@ -1,0 +1,216 @@
+#include "driver/replacement_policy.hh"
+
+#include "common/logging.hh"
+
+namespace nvdimmc::driver
+{
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(const std::string& policy_name,
+                          std::uint64_t seed)
+{
+    if (policy_name == "lrc")
+        return std::make_unique<LrcPolicy>();
+    if (policy_name == "lru")
+        return std::make_unique<LruPolicy>();
+    if (policy_name == "clock")
+        return std::make_unique<ClockPolicy>();
+    if (policy_name == "random")
+        return std::make_unique<RandomPolicy>(seed);
+    fatal("unknown replacement policy '", policy_name, "'");
+}
+
+// --- LRC ---
+
+void
+LrcPolicy::reset(std::uint32_t slot_count)
+{
+    fifo_.clear();
+    installed_.assign(slot_count, false);
+}
+
+void
+LrcPolicy::onInstall(std::uint32_t slot)
+{
+    installed_[slot] = true;
+    fifo_.push_back(slot);
+}
+
+void
+LrcPolicy::onEvict(std::uint32_t slot)
+{
+    // Lazy removal: stale FIFO entries are skipped in pickVictim.
+    installed_[slot] = false;
+}
+
+std::uint32_t
+LrcPolicy::pickVictim()
+{
+    while (!fifo_.empty()) {
+        std::uint32_t slot = fifo_.front();
+        if (installed_[slot])
+            return slot;
+        fifo_.pop_front();
+    }
+    panic("LrcPolicy: no installed slot to evict");
+}
+
+// --- LRU ---
+
+void
+LruPolicy::reset(std::uint32_t slot_count)
+{
+    prev_.assign(slot_count, kNil);
+    next_.assign(slot_count, kNil);
+    linked_.assign(slot_count, false);
+    head_ = tail_ = kNil;
+}
+
+void
+LruPolicy::unlink(std::uint32_t slot)
+{
+    if (!linked_[slot])
+        return;
+    std::uint32_t p = prev_[slot];
+    std::uint32_t n = next_[slot];
+    if (p != kNil)
+        next_[p] = n;
+    else
+        head_ = n;
+    if (n != kNil)
+        prev_[n] = p;
+    else
+        tail_ = p;
+    linked_[slot] = false;
+    prev_[slot] = next_[slot] = kNil;
+}
+
+void
+LruPolicy::pushMru(std::uint32_t slot)
+{
+    prev_[slot] = kNil;
+    next_[slot] = head_;
+    if (head_ != kNil)
+        prev_[head_] = slot;
+    head_ = slot;
+    if (tail_ == kNil)
+        tail_ = slot;
+    linked_[slot] = true;
+}
+
+void
+LruPolicy::onInstall(std::uint32_t slot)
+{
+    unlink(slot);
+    pushMru(slot);
+}
+
+void
+LruPolicy::onAccess(std::uint32_t slot)
+{
+    if (!linked_[slot])
+        return;
+    unlink(slot);
+    pushMru(slot);
+}
+
+void
+LruPolicy::onEvict(std::uint32_t slot)
+{
+    unlink(slot);
+}
+
+std::uint32_t
+LruPolicy::pickVictim()
+{
+    NVDC_ASSERT(tail_ != kNil, "LruPolicy: empty");
+    return tail_;
+}
+
+// --- CLOCK ---
+
+void
+ClockPolicy::reset(std::uint32_t slot_count)
+{
+    state_.assign(slot_count, 0);
+    hand_ = 0;
+    installedCount_ = 0;
+}
+
+void
+ClockPolicy::onInstall(std::uint32_t slot)
+{
+    if (state_[slot] == 0)
+        ++installedCount_;
+    state_[slot] = 2;
+}
+
+void
+ClockPolicy::onAccess(std::uint32_t slot)
+{
+    if (state_[slot] == 1)
+        state_[slot] = 2;
+}
+
+void
+ClockPolicy::onEvict(std::uint32_t slot)
+{
+    if (state_[slot] != 0)
+        --installedCount_;
+    state_[slot] = 0;
+}
+
+std::uint32_t
+ClockPolicy::pickVictim()
+{
+    NVDC_ASSERT(installedCount_ > 0, "ClockPolicy: empty");
+    for (;;) {
+        std::uint8_t& s = state_[hand_];
+        std::uint32_t current = hand_;
+        hand_ = (hand_ + 1) % state_.size();
+        if (s == 1)
+            return current;
+        if (s == 2)
+            s = 1;
+    }
+}
+
+// --- RANDOM ---
+
+void
+RandomPolicy::reset(std::uint32_t slot_count)
+{
+    installed_.clear();
+    position_.assign(slot_count, kNil);
+}
+
+void
+RandomPolicy::onInstall(std::uint32_t slot)
+{
+    if (position_[slot] != kNil)
+        return;
+    position_[slot] = static_cast<std::uint32_t>(installed_.size());
+    installed_.push_back(slot);
+}
+
+void
+RandomPolicy::onEvict(std::uint32_t slot)
+{
+    std::uint32_t pos = position_[slot];
+    if (pos == kNil)
+        return;
+    std::uint32_t last = installed_.back();
+    installed_[pos] = last;
+    position_[last] = pos;
+    installed_.pop_back();
+    position_[slot] = kNil;
+}
+
+std::uint32_t
+RandomPolicy::pickVictim()
+{
+    NVDC_ASSERT(!installed_.empty(), "RandomPolicy: empty");
+    return installed_[rng_.below(installed_.size())];
+}
+
+} // namespace nvdimmc::driver

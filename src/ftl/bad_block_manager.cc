@@ -1,0 +1,2 @@
+// BadBlockManager is header-only.
+#include "ftl/bad_block_manager.hh"

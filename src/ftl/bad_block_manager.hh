@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bad-block management: factory-marked bad blocks are excluded from
+ * the allocatable pool, and blocks that grow bad at runtime (e.g. an
+ * erase failure) are retired.
+ */
+
+#ifndef NVDIMMC_FTL_BAD_BLOCK_MANAGER_HH
+#define NVDIMMC_FTL_BAD_BLOCK_MANAGER_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "nvm/znand.hh"
+
+namespace nvdimmc::ftl
+{
+
+/** Tracks unusable blocks. */
+class BadBlockManager
+{
+  public:
+    /** Import the factory bad-block list from the device. */
+    explicit BadBlockManager(const nvm::ZNand& nand)
+    {
+        for (std::uint64_t b = 0; b < nand.params().totalBlocks(); ++b) {
+            if (nand.isBadBlock(b))
+                bad_.insert(b);
+        }
+    }
+
+    bool isBad(std::uint64_t block_no) const
+    {
+        return bad_.count(block_no) != 0;
+    }
+
+    /** Retire a grown-bad block. */
+    void retire(std::uint64_t block_no) { bad_.insert(block_no); }
+
+    std::size_t badCount() const { return bad_.size(); }
+
+  private:
+    std::unordered_set<std::uint64_t> bad_;
+};
+
+} // namespace nvdimmc::ftl
+
+#endif // NVDIMMC_FTL_BAD_BLOCK_MANAGER_HH

@@ -1,0 +1,2 @@
+// Ecc is header-only.
+#include "ftl/ecc.hh"

@@ -1,0 +1,387 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::ftl
+{
+
+namespace
+{
+
+/** Service time for a read of a never-written page (no media touch). */
+constexpr Tick kUnmappedReadLatency = 200 * kNs;
+
+} // namespace
+
+Ftl::Ftl(EventQueue& eq, nvm::ZNand& nand, const FtlConfig& cfg)
+    : eq_(eq),
+      nand_(nand),
+      cfg_(cfg),
+      logicalPages_(static_cast<std::uint64_t>(
+          static_cast<double>(nand.params().totalPages()) *
+          cfg.exposedFraction)),
+      map_(logicalPages_),
+      bbm_(nand),
+      wl_(nand, cfg.wearThreshold),
+      ecc_(cfg.ecc),
+      blocks_(nand.params().totalBlocks()),
+      activeBlocks_(std::size_t{nand.params().channels} *
+                        nand.params().diesPerChannel,
+                    kUnmapped)
+{
+    NVDC_ASSERT(cfg.gcLowWaterBlocks < cfg.gcHighWaterBlocks,
+                "GC watermarks inverted");
+    freeBlocks_.reserve(blocks_.size());
+    for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+        if (!bbm_.isBad(b))
+            freeBlocks_.push_back(b);
+    }
+    if (freeBlocks_.size() * nand.params().pagesPerBlock <
+        logicalPages_ + cfg.gcHighWaterBlocks *
+                            nand.params().pagesPerBlock) {
+        fatal("Ftl: not enough good blocks for the exposed capacity");
+    }
+}
+
+void
+Ftl::preconditionSequentialFill(std::uint64_t pages)
+{
+    NVDC_ASSERT(pages <= logicalPages_, "precondition beyond capacity");
+    for (std::uint64_t lpn = 0; lpn < pages; ++lpn) {
+        std::uint64_t ppn = allocatePage();
+        NVDC_ASSERT(ppn != kUnmapped, "precondition ran out of space");
+        std::uint64_t old = map_.map(lpn, ppn);
+        NVDC_ASSERT(old == kUnmapped, "preconditioning a mapped page");
+        blocks_[nand_.flatBlockOfPage(ppn)].validCount += 1;
+        nand_.preconditionProgrammed(ppn);
+    }
+}
+
+std::uint32_t
+Ftl::wearSpread() const
+{
+    std::uint32_t lo = ~std::uint32_t{0};
+    std::uint32_t hi = 0;
+    for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+        if (bbm_.isBad(b))
+            continue;
+        std::uint32_t w = nand_.eraseCount(b);
+        lo = std::min(lo, w);
+        hi = std::max(hi, w);
+    }
+    return lo == ~std::uint32_t{0} ? 0 : hi - lo;
+}
+
+bool
+Ftl::openActiveBlock(std::size_t die_slot)
+{
+    if (freeBlocks_.empty())
+        return false;
+
+    const auto& p = nand_.params();
+    // Prefer a free block that actually lives on this die so the
+    // round-robin write stream exploits die parallelism; fall back to
+    // any block (wear-aware) otherwise.
+    std::size_t chosen = freeBlocks_.size();
+    std::uint32_t chosen_wear = ~std::uint32_t{0};
+    for (std::size_t i = 0; i < freeBlocks_.size(); ++i) {
+        std::uint64_t blk = freeBlocks_[i];
+        nvm::NandAddr a =
+            nand_.fromFlatPage(blk * p.pagesPerBlock);
+        std::size_t die = std::size_t{a.channel} * p.diesPerChannel +
+                          a.die;
+        if (die != die_slot)
+            continue;
+        std::uint32_t w = nand_.eraseCount(blk);
+        if (w < chosen_wear) {
+            chosen_wear = w;
+            chosen = i;
+        }
+    }
+    if (chosen == freeBlocks_.size()) {
+        auto any = wl_.pickFreeBlock(freeBlocks_);
+        if (!any)
+            return false;
+        chosen = *any;
+    }
+
+    std::uint64_t blk = freeBlocks_[chosen];
+    freeBlocks_.erase(freeBlocks_.begin() +
+                      static_cast<std::ptrdiff_t>(chosen));
+    BlockMeta& meta = blocks_[blk];
+    NVDC_ASSERT(meta.state == BlockMeta::State::Free,
+                "allocating a non-free block");
+    meta.state = BlockMeta::State::Active;
+    meta.writeCursor = 0;
+    meta.validCount = 0;
+    activeBlocks_[die_slot] = blk;
+    return true;
+}
+
+std::uint64_t
+Ftl::allocatePage()
+{
+    const auto& p = nand_.params();
+    const std::size_t slots = activeBlocks_.size();
+    for (std::size_t attempt = 0; attempt < slots; ++attempt) {
+        std::size_t slot = nextDieSlot_;
+        nextDieSlot_ = (nextDieSlot_ + 1) % slots;
+
+        if (activeBlocks_[slot] == kUnmapped &&
+            !openActiveBlock(slot)) {
+            continue;
+        }
+        std::uint64_t blk = activeBlocks_[slot];
+        BlockMeta& meta = blocks_[blk];
+        std::uint64_t ppn =
+            blk * p.pagesPerBlock + meta.writeCursor;
+        meta.writeCursor += 1;
+        if (meta.writeCursor == p.pagesPerBlock) {
+            meta.state = BlockMeta::State::Full;
+            activeBlocks_[slot] = kUnmapped;
+        }
+        return ppn;
+    }
+    return kUnmapped;
+}
+
+void
+Ftl::invalidate(std::uint64_t ppn)
+{
+    BlockMeta& meta = blocks_[nand_.flatBlockOfPage(ppn)];
+    NVDC_ASSERT(meta.validCount > 0, "invalidate underflow");
+    meta.validCount -= 1;
+}
+
+void
+Ftl::readPage(std::uint64_t page_no, std::uint8_t* buf,
+              nvm::Callback done)
+{
+    NVDC_ASSERT(page_no < logicalPages_, "FTL read beyond capacity");
+    stats_.userReads.inc();
+
+    std::uint64_t ppn = map_.lookup(page_no);
+    if (ppn == kUnmapped) {
+        stats_.unmappedReads.inc();
+        if (buf)
+            std::memset(buf, 0, nvm::PageBackend::kPageBytes);
+        eq_.scheduleAfter(kUnmappedReadLatency, std::move(done));
+        return;
+    }
+    nand_.readPage(ppn, buf, [this, cb = std::move(done)] {
+        EccResult r = ecc_.decode();
+        if (!r.correctable)
+            stats_.uncorrectableReads.inc();
+        cb();
+    });
+}
+
+void
+Ftl::writePage(std::uint64_t page_no, const std::uint8_t* data,
+               nvm::Callback done)
+{
+    NVDC_ASSERT(page_no < logicalPages_, "FTL write beyond capacity");
+    stats_.userWrites.inc();
+
+    WriteOp op;
+    op.lpn = page_no;
+    if (data) {
+        op.data = std::make_shared<std::vector<std::uint8_t>>(
+            data, data + nvm::PageBackend::kPageBytes);
+    }
+    op.done = std::move(done);
+
+    maybeStartGc();
+    startWrite(std::move(op));
+}
+
+void
+Ftl::startWrite(WriteOp op)
+{
+    std::uint64_t ppn = allocatePage();
+    if (ppn == kUnmapped) {
+        pendingWrites_.push_back(std::move(op));
+        maybeStartGc();
+        return;
+    }
+
+    std::uint64_t old = map_.map(op.lpn, ppn);
+    if (old != kUnmapped)
+        invalidate(old);
+    blocks_[nand_.flatBlockOfPage(ppn)].validCount += 1;
+
+    auto data_ptr = op.data ? op.data->data() : nullptr;
+    auto retry = std::make_shared<WriteOp>(std::move(op));
+    nand_.programPage(ppn, data_ptr, [this, ppn, retry] {
+        if (nand_.lastProgramFailed()) {
+            // Grown defect: retire the whole block. Its other live
+            // pages are rescued by an immediate GC-style relocation
+            // the next time the collector runs; the failed write
+            // itself retries on a different block right away.
+            std::uint64_t blk = nand_.flatBlockOfPage(ppn);
+            retireBlock(blk, ppn, *retry);
+            return;
+        }
+        if (retry->done)
+            retry->done();
+    });
+}
+
+void
+Ftl::retireBlock(std::uint64_t block_no, std::uint64_t failed_ppn,
+                 WriteOp& op)
+{
+    stats_.grownBadBlocks.inc();
+    bbm_.retire(block_no);
+    warn("Ftl: retiring grown-bad block ", block_no);
+
+    // The failed page's mapping is corrected by the retried write
+    // below: its map() returns failed_ppn as the old mapping and
+    // invalidates it exactly once.
+    (void)failed_ppn;
+
+    // The block can no longer be an allocation target.
+    for (std::size_t slot = 0; slot < activeBlocks_.size(); ++slot) {
+        if (activeBlocks_[slot] == block_no)
+            activeBlocks_[slot] = kUnmapped;
+    }
+    for (std::size_t i = 0; i < freeBlocks_.size(); ++i) {
+        if (freeBlocks_[i] == block_no) {
+            freeBlocks_.erase(freeBlocks_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    blocks_[block_no].state = BlockMeta::State::Full; // Park it.
+
+    // Retry the user write on healthy media.
+    WriteOp again;
+    again.lpn = op.lpn;
+    again.data = op.data;
+    again.done = std::move(op.done);
+    startWrite(std::move(again));
+}
+
+void
+Ftl::maybeStartGc()
+{
+    if (gcActive_)
+        return;
+    if (freeBlocks_.size() < cfg_.gcLowWaterBlocks) {
+        auto victim = GarbageCollector::pickVictim(blocks_);
+        if (!victim)
+            return;
+        gcVictim_ = *victim;
+    } else {
+        // Static wear leveling: even with plenty of free space,
+        // recycle a cold block once the wear spread gets too wide.
+        // The scan is O(blocks), so only run it occasionally.
+        if (++wearCheckTick_ % 256 != 0)
+            return;
+        std::vector<std::uint64_t> fulls;
+        for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+            if (blocks_[b].state == BlockMeta::State::Full)
+                fulls.push_back(b);
+        }
+        auto cold = wl_.pickColdBlock(fulls);
+        if (!cold)
+            return;
+        gcVictim_ = *cold;
+    }
+    gcActive_ = true;
+    gcPageCursor_ = 0;
+    stats_.gcRuns.inc();
+    eq_.scheduleAfter(0, [this] { gcStep(); });
+}
+
+void
+Ftl::gcStep()
+{
+    const auto& p = nand_.params();
+
+    // Find the next still-valid page in the victim block.
+    while (gcPageCursor_ < p.pagesPerBlock) {
+        std::uint64_t ppn =
+            gcVictim_ * p.pagesPerBlock + gcPageCursor_;
+        std::uint64_t lpn = map_.reverseLookup(ppn);
+        if (lpn != kUnmapped) {
+            // Relocate: read, then (if the mapping is still current)
+            // program elsewhere.
+            auto buf = std::make_shared<std::vector<std::uint8_t>>(
+                nvm::PageBackend::kPageBytes);
+            gcPageCursor_ += 1;
+            nand_.readPage(ppn, buf->data(), [this, ppn, lpn, buf] {
+                if (map_.lookup(lpn) != ppn) {
+                    // Overwritten by the user mid-GC; nothing to move.
+                    gcStep();
+                    return;
+                }
+                std::uint64_t dst = allocatePage();
+                if (dst == kUnmapped) {
+                    // Out of space mid-GC: should be impossible with
+                    // sane watermarks.
+                    panic("Ftl: GC starved of free pages");
+                }
+                std::uint64_t old = map_.map(lpn, dst);
+                NVDC_ASSERT(old == ppn, "GC mapping raced");
+                invalidate(old);
+                blocks_[nand_.flatBlockOfPage(dst)].validCount += 1;
+                stats_.gcRelocations.inc();
+                nand_.programPage(dst, buf->data(),
+                                  [this] { gcStep(); });
+            });
+            return;
+        }
+        gcPageCursor_ += 1;
+    }
+
+    // All live data moved; erase and reclaim.
+    nand_.eraseBlock(gcVictim_, [this] {
+        BlockMeta& meta = blocks_[gcVictim_];
+        NVDC_ASSERT(meta.validCount == 0,
+                    "erasing block with live data");
+        meta.state = BlockMeta::State::Free;
+        meta.writeCursor = 0;
+        freeBlocks_.push_back(gcVictim_);
+        stats_.gcErases.inc();
+
+        if (freeBlocks_.size() < cfg_.gcHighWaterBlocks) {
+            auto victim = GarbageCollector::pickVictim(blocks_);
+            if (victim) {
+                gcVictim_ = *victim;
+                gcPageCursor_ = 0;
+                eq_.scheduleAfter(0, [this] { gcStep(); });
+                return;
+            }
+        }
+        finishGc();
+    });
+}
+
+void
+Ftl::finishGc()
+{
+    gcActive_ = false;
+    drainPending();
+}
+
+void
+Ftl::drainPending()
+{
+    while (!pendingWrites_.empty()) {
+        std::size_t before = pendingWrites_.size();
+        WriteOp op = std::move(pendingWrites_.front());
+        pendingWrites_.pop_front();
+        startWrite(std::move(op));
+        if (pendingWrites_.size() >= before) {
+            // The op was re-queued: still out of space; wait for the
+            // next GC round (startWrite already kicked one).
+            return;
+        }
+    }
+}
+
+} // namespace nvdimmc::ftl

@@ -1,0 +1,2 @@
+// GarbageCollector is header-only.
+#include "ftl/garbage_collector.hh"

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Greedy garbage-collection victim selection: pick the full block with
+ * the fewest valid pages (most reclaimable space per erase).
+ */
+
+#ifndef NVDIMMC_FTL_GARBAGE_COLLECTOR_HH
+#define NVDIMMC_FTL_GARBAGE_COLLECTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nvdimmc::ftl
+{
+
+/** Per-block FTL bookkeeping shared with the collector. */
+struct BlockMeta
+{
+    enum class State : std::uint8_t { Free, Active, Full };
+
+    State state = State::Free;
+    std::uint32_t validCount = 0;
+    std::uint32_t writeCursor = 0; ///< Next page index to program.
+};
+
+/** Victim selection policy. */
+class GarbageCollector
+{
+  public:
+    /**
+     * Greedy choice over Full blocks.
+     * @return block number, or nullopt if no Full block exists.
+     */
+    static std::optional<std::uint64_t>
+    pickVictim(const std::vector<BlockMeta>& blocks)
+    {
+        std::optional<std::uint64_t> best;
+        std::uint32_t best_valid = ~std::uint32_t{0};
+        for (std::uint64_t b = 0; b < blocks.size(); ++b) {
+            if (blocks[b].state != BlockMeta::State::Full)
+                continue;
+            if (blocks[b].validCount < best_valid) {
+                best_valid = blocks[b].validCount;
+                best = b;
+            }
+        }
+        return best;
+    }
+};
+
+} // namespace nvdimmc::ftl
+
+#endif // NVDIMMC_FTL_GARBAGE_COLLECTOR_HH

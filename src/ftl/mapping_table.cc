@@ -1,0 +1,2 @@
+// MappingTable is header-only.
+#include "ftl/mapping_table.hh"

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Page-mapped logical-to-physical table for the FTL, with the reverse
+ * map needed by garbage collection.
+ */
+
+#ifndef NVDIMMC_FTL_MAPPING_TABLE_HH
+#define NVDIMMC_FTL_MAPPING_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace nvdimmc::ftl
+{
+
+/** Sentinel physical page meaning "never written". */
+constexpr std::uint64_t kUnmapped = ~std::uint64_t{0};
+
+/** L2P / P2L mapping at 4 KB page granularity. */
+class MappingTable
+{
+  public:
+    explicit MappingTable(std::uint64_t logical_pages)
+        : l2p_(logical_pages, kUnmapped)
+    {
+    }
+
+    std::uint64_t logicalPages() const { return l2p_.size(); }
+
+    /** Physical page for @p lpn, or kUnmapped. */
+    std::uint64_t lookup(std::uint64_t lpn) const { return l2p_[lpn]; }
+
+    /**
+     * Map @p lpn to @p ppn.
+     * @return the previous physical page (kUnmapped if none) so the
+     *         caller can invalidate it.
+     */
+    std::uint64_t map(std::uint64_t lpn, std::uint64_t ppn)
+    {
+        std::uint64_t old = l2p_[lpn];
+        l2p_[lpn] = ppn;
+        if (old != kUnmapped)
+            p2l_.erase(old);
+        p2l_[ppn] = lpn;
+        return old;
+    }
+
+    /** Logical owner of a physical page, or kUnmapped if stale/free. */
+    std::uint64_t
+    reverseLookup(std::uint64_t ppn) const
+    {
+        auto it = p2l_.find(ppn);
+        return it == p2l_.end() ? kUnmapped : it->second;
+    }
+
+    /** Number of live mappings. */
+    std::uint64_t mappedCount() const { return p2l_.size(); }
+
+  private:
+    std::vector<std::uint64_t> l2p_;
+    std::unordered_map<std::uint64_t, std::uint64_t> p2l_;
+};
+
+} // namespace nvdimmc::ftl
+
+#endif // NVDIMMC_FTL_MAPPING_TABLE_HH

@@ -1,0 +1,2 @@
+// WearLeveler is header-only.
+#include "ftl/wear_leveler.hh"

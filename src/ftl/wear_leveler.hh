@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Wear leveling: dynamic (allocate the least-worn free block) and a
+ * static trigger (when the erase-count spread exceeds a threshold,
+ * nominate a cold block for forced relocation).
+ */
+
+#ifndef NVDIMMC_FTL_WEAR_LEVELER_HH
+#define NVDIMMC_FTL_WEAR_LEVELER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nvm/znand.hh"
+
+namespace nvdimmc::ftl
+{
+
+/** Wear-leveling policy helper. */
+class WearLeveler
+{
+  public:
+    explicit WearLeveler(const nvm::ZNand& nand,
+                         std::uint32_t static_threshold = 16)
+        : nand_(nand), staticThreshold_(static_threshold)
+    {
+    }
+
+    /**
+     * Dynamic WL: pick the free block with the lowest erase count.
+     * @return index *into free_list*, or nullopt if empty.
+     */
+    std::optional<std::size_t>
+    pickFreeBlock(const std::vector<std::uint64_t>& free_list) const
+    {
+        if (free_list.empty())
+            return std::nullopt;
+        std::size_t best = 0;
+        std::uint32_t best_wear = nand_.eraseCount(free_list[0]);
+        for (std::size_t i = 1; i < free_list.size(); ++i) {
+            std::uint32_t w = nand_.eraseCount(free_list[i]);
+            if (w < best_wear) {
+                best_wear = w;
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    /**
+     * Static WL: among @p candidate_blocks (full blocks), return one
+     * whose erase count is at least staticThreshold below the device
+     * max — its (cold) contents should be moved onto a worn block.
+     */
+    std::optional<std::uint64_t>
+    pickColdBlock(const std::vector<std::uint64_t>& candidate_blocks)
+        const
+    {
+        std::uint32_t max_wear = nand_.maxEraseCount();
+        for (std::uint64_t b : candidate_blocks) {
+            if (max_wear >= staticThreshold_ &&
+                nand_.eraseCount(b) + staticThreshold_ <= max_wear) {
+                return b;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::uint32_t staticThreshold() const { return staticThreshold_; }
+
+  private:
+    const nvm::ZNand& nand_;
+    std::uint32_t staticThreshold_;
+};
+
+} // namespace nvdimmc::ftl
+
+#endif // NVDIMMC_FTL_WEAR_LEVELER_HH

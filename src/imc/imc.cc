@@ -1,0 +1,436 @@
+#include "imc/imc.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::imc
+{
+
+Imc::Imc(EventQueue& eq, bus::MemoryBus& bus, const ImcConfig& cfg)
+    : eq_(eq),
+      bus_(bus),
+      cfg_(cfg),
+      masterId_(bus.registerMaster("host-imc")),
+      shadow_(bus.dram().addressMap(), bus.dram().timing()),
+      wpq_(cfg.wpqCap, cfg.wpqWatermark),
+      nextRefreshDue_(cfg.refresh.tREFI),
+      baseRefresh_(cfg.refresh)
+{
+    NVDC_ASSERT(cfg.wpqWatermark <= cfg.wpqCap, "bad WPQ watermark");
+    // Refresh must run even while the host is idle: the NVDIMM-C
+    // design feeds on the cadence.
+    if (cfg_.refreshEnabled)
+        wake(nextRefreshDue_);
+}
+
+void
+Imc::programRefresh(const dram::RefreshRegisters& regs)
+{
+    cfg_.refresh = regs;
+    baseRefresh_ = regs;
+    // Re-anchor the next due tick so a shorter tREFI takes effect
+    // within one interval.
+    Tick base = lastRefreshAt_ == kTickNever ? eq_.now() : lastRefreshAt_;
+    nextRefreshDue_ = base + regs.tREFI;
+    wake(eq_.now());
+}
+
+void
+Imc::setTemperature(double celsius)
+{
+    temperatureC_ = celsius;
+    dram::RefreshRegisters regs = baseRefresh_;
+    if (celsius > 85.0)
+        regs.tREFI = baseRefresh_.tREFI / 2;
+    // programRefresh preserves baseRefresh_ via cfg_ only.
+    cfg_.refresh = regs;
+    Tick base = lastRefreshAt_ == kTickNever ? eq_.now()
+                                             : lastRefreshAt_;
+    nextRefreshDue_ = base + regs.tREFI;
+    wake(eq_.now());
+}
+
+void
+Imc::enableIdleSelfRefresh(Tick idle_time)
+{
+    srIdleThreshold_ = idle_time;
+    lastActivityAt_ = eq_.now();
+    if (idle_time > 0)
+        wake(eq_.now() + idle_time);
+}
+
+void
+Imc::wake(Tick at)
+{
+    if (at < eq_.now())
+        at = eq_.now();
+    if (wakeAt_ != kTickNever && wakeAt_ <= at &&
+        eq_.isPending(wakeId_)) {
+        return; // An earlier-or-equal wakeup is already scheduled.
+    }
+    if (wakeAt_ != kTickNever && eq_.isPending(wakeId_))
+        eq_.cancel(wakeId_);
+    wakeAt_ = at;
+    wakeId_ = eq_.schedule(at, [this] {
+        wakeAt_ = kTickNever;
+        tick();
+    });
+}
+
+bool
+Imc::readLine(Addr addr, std::uint8_t* buf, Callback done)
+{
+    NVDC_ASSERT(addr % dram::AddressMap::kBurstBytes == 0,
+                "unaligned line read");
+    // Store-to-load forwarding: the WPQ holds the newest data.
+    for (auto it = wpq_.entries().rbegin(); it != wpq_.entries().rend();
+         ++it) {
+        if (it->addr == addr) {
+            stats_.wpqForwards.inc();
+            if (buf && it->hasWriteData) {
+                std::memcpy(buf, it->writeData.data(),
+                            dram::AddressMap::kBurstBytes);
+            }
+            Tick enq = eq_.now();
+            eq_.scheduleAfter(cfg_.forwardLatency,
+                              [this, enq, cb = std::move(done)] {
+                                  stats_.readLatency.record(eq_.now() -
+                                                            enq);
+                                  if (cb)
+                                      cb();
+                              });
+            stats_.readsAccepted.inc();
+            return true;
+        }
+    }
+
+    if (readQ_.size() >= cfg_.readQueueCap)
+        return false;
+
+    lastActivityAt_ = eq_.now();
+
+    MemRequest req;
+    req.kind = MemRequest::Kind::Read;
+    req.addr = addr;
+    req.coord = bus_.dram().addressMap().decompose(addr);
+    req.enqueued = eq_.now();
+    req.readBuf = buf;
+    req.onComplete = std::move(done);
+    readQ_.push_back(std::move(req));
+    stats_.readsAccepted.inc();
+    wake(eq_.now());
+    return true;
+}
+
+bool
+Imc::writeLine(Addr addr, const std::uint8_t* data, Callback done)
+{
+    NVDC_ASSERT(addr % dram::AddressMap::kBurstBytes == 0,
+                "unaligned line write");
+    if (wpq_.full())
+        return false;
+
+    lastActivityAt_ = eq_.now();
+
+    MemRequest req;
+    req.kind = MemRequest::Kind::Write;
+    req.addr = addr;
+    req.coord = bus_.dram().addressMap().decompose(addr);
+    req.enqueued = eq_.now();
+    if (data) {
+        std::memcpy(req.writeData.data(), data,
+                    dram::AddressMap::kBurstBytes);
+        req.hasWriteData = true;
+    }
+    wpq_.push(std::move(req));
+    stats_.writesAccepted.inc();
+    wake(eq_.now());
+    // Posted: complete as soon as the store is in the WPQ.
+    if (done)
+        done();
+    return true;
+}
+
+void
+Imc::notifySpace()
+{
+    if (spaceWaiters_.empty())
+        return;
+    std::vector<Callback> waiters;
+    waiters.swap(spaceWaiters_);
+    for (auto& cb : waiters)
+        cb();
+}
+
+void
+Imc::completeRead(MemRequest req, Tick data_end)
+{
+    // Capture the array contents at CAS time; deliver at burst end.
+    // Between the two no other master may legally write (the NVMC only
+    // writes inside refresh windows, and no CAS is in flight then).
+    if (req.readBuf)
+        bus_.dram().readBurst(req.coord, req.readBuf);
+    Tick enq = req.enqueued;
+    eq_.schedule(data_end + cfg_.frontendLatency,
+                 [this, enq, cb = std::move(req.onComplete)] {
+                     stats_.readLatency.record(eq_.now() - enq);
+                     if (cb)
+                         cb();
+                     notifySpace();
+                 });
+}
+
+void
+Imc::commitWrite(MemRequest req, Tick data_end)
+{
+    auto coord = req.coord;
+    auto data = req.writeData;
+    bool has = req.hasWriteData;
+    eq_.schedule(data_end, [this, coord, data, has] {
+        if (has)
+            bus_.dram().writeBurst(coord, data.data());
+        notifySpace();
+    });
+}
+
+void
+Imc::tick()
+{
+    const Tick now = eq_.now();
+    const auto& t = bus_.dram().timing();
+    const auto& map = bus_.dram().addressMap();
+
+    // --- Idle self-refresh management ---
+    if (selfRefresh_) {
+        bool work = !readQ_.empty() || !wpq_.empty();
+        if (!work)
+            return; // Stay asleep; requests will wake us.
+        // Exit self-refresh; commands legal after tXS.
+        bus_.issueCommand(masterId_,
+                          {dram::Ddr4Op::SelfRefreshExit, 0, 0, 0, 0});
+        selfRefresh_ = false;
+        srExitReadyAt_ = now + t.tXS;
+        nextRefreshDue_ = srExitReadyAt_ + cfg_.refresh.tREFI;
+        wake(srExitReadyAt_);
+        return;
+    }
+    if (srExitReadyAt_ != 0 && now < srExitReadyAt_) {
+        wake(srExitReadyAt_);
+        return;
+    }
+    if (srIdleThreshold_ > 0 && readQ_.empty() && wpq_.empty() &&
+        refState_ == RefState::Idle && !shadow_.anyBankOpen()) {
+        if (now >= lastActivityAt_ + srIdleThreshold_) {
+            bus_.issueCommand(
+                masterId_,
+                {dram::Ddr4Op::SelfRefreshEnter, 0, 0, 0, 0});
+            selfRefresh_ = true;
+            return;
+        }
+        wake(lastActivityAt_ + srIdleThreshold_);
+    }
+
+    // --- Refresh state machine (highest priority) ---
+    if (refState_ == RefState::Blocked) {
+        if (now < blockedUntil_) {
+            wake(blockedUntil_);
+            return;
+        }
+        refState_ = RefState::Idle;
+    }
+    if (cfg_.refreshEnabled && refState_ == RefState::Idle &&
+        now >= nextRefreshDue_) {
+        refState_ = shadow_.anyBankOpen() ? RefState::WaitPrea
+                                          : RefState::WaitRef;
+    }
+    if (refState_ == RefState::WaitPrea) {
+        Tick ready = shadow_.earliestPrechargeAll();
+        if (ready > now) {
+            wake(ready);
+            return;
+        }
+        bus_.issueCommand(masterId_,
+                          {dram::Ddr4Op::PrechargeAll, 0, 0, 0, 0});
+        shadow_.onPrechargeAll(now);
+        refState_ = RefState::WaitRef;
+        wake(now + t.tCK);
+        return;
+    }
+    if (refState_ == RefState::WaitRef) {
+        Tick ready = std::max(shadow_.earliestRefresh(),
+                              shadow_.dqBusyUntil());
+        if (ready > now) {
+            wake(ready);
+            return;
+        }
+        bus_.issueCommand(masterId_, {dram::Ddr4Op::Refresh, 0, 0, 0, 0});
+        shadow_.onRefresh(now);
+        stats_.refreshesIssued.inc();
+        lastRefreshAt_ = now;
+        // Block for the PROGRAMMED tRFC; the device only needs its
+        // real tRFC, the rest is the NVMC's window.
+        blockedUntil_ = now + cfg_.refresh.tRFC;
+        nextRefreshDue_ += cfg_.refresh.tREFI;
+        refState_ = RefState::Blocked;
+        wake(blockedUntil_);
+        return;
+    }
+
+    // --- Normal FR-FCFS service ---
+    bool drain_writes =
+        wpq_.aboveWatermark() ||
+        (!wpq_.empty() &&
+         now >= wpq_.front().enqueued + cfg_.wpqMaxAge);
+    SchedDecision d = pickNext(readQ_, wpq_.entries(), drain_writes,
+                               shadow_, map, cfg_.schedWindow);
+    if (d.action == SchedDecision::Action::None) {
+        // Sleep until a new request arrives — but keep the refresh
+        // cadence armed regardless.
+        if (cfg_.refreshEnabled)
+            wake(nextRefreshDue_);
+        return;
+    }
+
+    // Never start a command that could not finish before a due
+    // refresh forces PREA — the refresh FSM takes over at the next
+    // tick call once due.
+    if (d.earliest > now) {
+        wake(d.earliest);
+        return;
+    }
+
+    const MemRequest& req = d.fromWriteQueue ? wpq_.at(d.queueIndex)
+                                             : readQ_[d.queueIndex];
+    const auto& c = req.coord;
+    std::uint32_t fb = map.flatBank(c);
+
+    switch (d.action) {
+      case SchedDecision::Action::Activate:
+        bus_.issueCommand(masterId_, {dram::Ddr4Op::Activate,
+                                      c.bankGroup, c.bank, c.row, 0});
+        shadow_.onActivate(fb, c.bankGroup, c.row, now);
+        break;
+
+      case SchedDecision::Action::Precharge:
+        bus_.issueCommand(masterId_, {dram::Ddr4Op::Precharge,
+                                      c.bankGroup, c.bank, 0, 0});
+        shadow_.onPrecharge(fb, now);
+        break;
+
+      case SchedDecision::Action::Read: {
+        auto res = bus_.issueCommand(masterId_,
+                                     {dram::Ddr4Op::Read, c.bankGroup,
+                                      c.bank, c.row, c.col});
+        shadow_.onRead(fb, c.bankGroup, now);
+        MemRequest done = std::move(readQ_[d.queueIndex]);
+        readQ_.erase(readQ_.begin() +
+                     static_cast<std::ptrdiff_t>(d.queueIndex));
+        // A rejected CAS (e.g. the NVMC corrupted bank state during a
+        // collision scenario) returns no data window; fall back to
+        // nominal timing so the pipeline keeps moving.
+        Tick data_end = res.ok && res.dataEnd > now
+                            ? res.dataEnd
+                            : now + t.readLatency();
+        completeRead(std::move(done), data_end);
+        break;
+      }
+
+      case SchedDecision::Action::Write: {
+        auto res = bus_.issueCommand(masterId_,
+                                     {dram::Ddr4Op::Write, c.bankGroup,
+                                      c.bank, c.row, c.col});
+        shadow_.onWrite(fb, c.bankGroup, now);
+        MemRequest done = wpq_.popAt(d.queueIndex);
+        Tick data_end = res.ok && res.dataEnd > now
+                            ? res.dataEnd
+                            : now + t.writeLatency();
+        commitWrite(std::move(done), data_end);
+        break;
+      }
+
+      case SchedDecision::Action::None:
+        break;
+    }
+
+    wake(now + t.tCK);
+}
+
+Tick
+Imc::refreshWalk(Tick start, Tick busy) const
+{
+    if (!cfg_.refreshEnabled)
+        return start + busy;
+
+    Tick cursor = start;
+    // Currently inside a refresh blackout?
+    if (refState_ == RefState::Blocked && cursor < blockedUntil_)
+        cursor = blockedUntil_;
+
+    // Future blackouts start (approximately) at each due tick.
+    Tick next_ref = nextRefreshDue_;
+    if (next_ref <= cursor) {
+        Tick behind = cursor - next_ref;
+        next_ref += (behind / cfg_.refresh.tREFI + 1) *
+                    cfg_.refresh.tREFI;
+    }
+    Tick remaining = busy;
+    for (;;) {
+        Tick gap = next_ref - cursor;
+        if (remaining <= gap)
+            return cursor + remaining;
+        remaining -= gap;
+        cursor = next_ref + cfg_.refresh.tRFC;
+        next_ref += cfg_.refresh.tREFI;
+    }
+}
+
+void
+Imc::bulkTransfer(std::uint32_t bytes, bool is_write, Callback done)
+{
+    const Tick now = eq_.now();
+    const auto& t = bus_.dram().timing();
+
+    // Channel occupancy: DDR4 x64 moves 16 B per tCK at peak.
+    double peak_bytes_per_ps = 16.0 / static_cast<double>(t.tCK);
+    double eff = cfg_.bulkEfficiency;
+    auto channel_busy = static_cast<Tick>(
+        static_cast<double>(bytes) / (peak_bytes_per_ps * eff));
+
+    Tick channel_start = std::max(now, bulkBusyUntil_);
+    Tick channel_done =
+        refreshWalk(channel_start, channel_busy + cfg_.bulkOpOverhead);
+    bulkBusyUntil_ = channel_done;
+
+    // Thread-side stream limit (MLP for loads, issue rate for NT
+    // stores).
+    double stream_mbps =
+        is_write ? cfg_.streamWriteMBps : cfg_.streamReadMBps;
+    auto stream_busy = static_cast<Tick>(
+        static_cast<double>(bytes) / (stream_mbps * 1e6 / 1e12));
+    Tick stream_done =
+        refreshWalk(now, stream_busy + cfg_.bulkOpOverhead);
+
+    Tick finish = std::max(channel_done, stream_done);
+    if (is_write)
+        stats_.writesAccepted.inc();
+    else
+        stats_.readsAccepted.inc();
+    eq_.schedule(finish, std::move(done));
+}
+
+std::size_t
+Imc::adrFlushWpq()
+{
+    std::size_t n = 0;
+    while (!wpq_.empty()) {
+        MemRequest req = wpq_.pop();
+        if (req.hasWriteData)
+            bus_.dram().writeBurst(req.coord, req.writeData.data());
+        ++n;
+    }
+    return n;
+}
+
+} // namespace nvdimmc::imc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Host memory request types handled by the integrated memory
+ * controller. Requests are 64 B cache-line transfers; bulk movement is
+ * built on top by cpu/memcpy_engine.
+ */
+
+#ifndef NVDIMMC_IMC_REQUEST_HH
+#define NVDIMMC_IMC_REQUEST_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "dram/address_map.hh"
+
+namespace nvdimmc::imc
+{
+
+/** Completion callback; fired when data is delivered / posted. */
+using Callback = std::function<void()>;
+
+/** One pending line transfer inside the controller. */
+struct MemRequest
+{
+    enum class Kind : std::uint8_t { Read, Write };
+
+    Kind kind = Kind::Read;
+    Addr addr = 0;                ///< 64 B aligned.
+    dram::DramCoord coord;        ///< Pre-decomposed target.
+    Tick enqueued = 0;
+
+    /** For reads: destination buffer (may be null = timing only). */
+    std::uint8_t* readBuf = nullptr;
+    /** For writes: data image captured at enqueue (all-zero if timing
+     *  only). */
+    std::array<std::uint8_t, dram::AddressMap::kBurstBytes> writeData{};
+    bool hasWriteData = false;
+
+    Callback onComplete;
+};
+
+} // namespace nvdimmc::imc
+
+#endif // NVDIMMC_IMC_REQUEST_HH

@@ -1,0 +1,3 @@
+// WritePendingQueue is header-only; this translation unit exists so the
+// build keeps one object file per module component.
+#include "imc/wpq.hh"

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Write pending queue (WPQ).
+ *
+ * Stores from the CPU are posted: they complete (from the core's point
+ * of view) as soon as they enter the WPQ, and drain to the DRAM in the
+ * background. On Intel platforms the WPQ is inside the ADR persistence
+ * domain for real NVDIMMs; the paper (§V-C) points out that with
+ * NVDIMM-C the WPQ is only a *weak* persistence domain because the
+ * FPGA's power-fail dump may read a page before the WPQ drained into
+ * it. The power-failure model in core/power.cc exercises exactly that.
+ */
+
+#ifndef NVDIMMC_IMC_WPQ_HH
+#define NVDIMMC_IMC_WPQ_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/stats.hh"
+#include "imc/request.hh"
+
+namespace nvdimmc::imc
+{
+
+/** Bounded posted-write queue with a drain watermark. */
+class WritePendingQueue
+{
+  public:
+    explicit WritePendingQueue(std::size_t capacity,
+                               std::size_t drain_watermark)
+        : capacity_(capacity), watermark_(drain_watermark)
+    {
+    }
+
+    bool full() const { return queue_.size() >= capacity_; }
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** True when the scheduler should prefer draining writes. */
+    bool aboveWatermark() const { return queue_.size() >= watermark_; }
+
+    void push(MemRequest req) { queue_.push_back(std::move(req)); }
+
+    MemRequest& front() { return queue_.front(); }
+    const MemRequest& front() const { return queue_.front(); }
+    MemRequest& at(std::size_t i) { return queue_[i]; }
+    const MemRequest& at(std::size_t i) const { return queue_[i]; }
+
+    MemRequest pop()
+    {
+        MemRequest r = std::move(queue_.front());
+        queue_.pop_front();
+        return r;
+    }
+
+    MemRequest popAt(std::size_t i)
+    {
+        MemRequest r = std::move(queue_[i]);
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+        return r;
+    }
+
+    /**
+     * Drop every entry (simulated power failure *without* ADR flush):
+     * the stores are lost. @return how many were lost.
+     */
+    std::size_t dropAll()
+    {
+        std::size_t n = queue_.size();
+        queue_.clear();
+        return n;
+    }
+
+    const std::deque<MemRequest>& entries() const { return queue_; }
+
+  private:
+    std::size_t capacity_;
+    std::size_t watermark_;
+    std::deque<MemRequest> queue_;
+};
+
+} // namespace nvdimmc::imc
+
+#endif // NVDIMMC_IMC_WPQ_HH

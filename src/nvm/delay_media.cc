@@ -1,0 +1,2 @@
+// DelayMedia is header-only.
+#include "nvm/delay_media.hh"

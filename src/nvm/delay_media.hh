@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Programmable-delay media: the paper's *hypothetical NVDIMM-C device*
+ * (§VII-D1). Every 4 KB access costs a fixed, programmable delay tD;
+ * tD = 0 isolates the software overhead of the nvdc driver, and
+ * tD = {7.8, 3.9, 1.85} us model media exactly matching the normal,
+ * doubled, and quadrupled refresh rates.
+ */
+
+#ifndef NVDIMMC_NVM_DELAY_MEDIA_HH
+#define NVDIMMC_NVM_DELAY_MEDIA_HH
+
+#include "nvm/nvm_media.hh"
+
+namespace nvdimmc::nvm
+{
+
+/** Fixed-latency media with unbounded internal parallelism. */
+class DelayMedia : public NvmMedia
+{
+  public:
+    DelayMedia(EventQueue& eq, std::uint64_t capacity, Tick delay)
+        : NvmMedia(eq, "delay-media", capacity), delay_(delay)
+    {
+    }
+
+    Tick delay() const { return delay_; }
+    void setDelay(Tick d) { delay_ = d; }
+
+  protected:
+    Tick readServiceTime(Addr, std::uint32_t) override { return delay_; }
+    Tick writeServiceTime(Addr, std::uint32_t) override { return delay_; }
+
+  private:
+    Tick delay_;
+};
+
+} // namespace nvdimmc::nvm
+
+#endif // NVDIMMC_NVM_DELAY_MEDIA_HH

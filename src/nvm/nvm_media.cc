@@ -1,0 +1,110 @@
+#include "nvm/nvm_media.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::nvm
+{
+
+NvmMedia::NvmMedia(EventQueue& eq, std::string name,
+                   std::uint64_t capacity)
+    : eq_(eq), name_(std::move(name)), capacity_(capacity)
+{
+}
+
+void
+NvmMedia::storeBytes(Addr addr, std::uint32_t len,
+                     const std::uint8_t* data)
+{
+    NVDC_ASSERT(addr + len <= capacity_, "media write out of range");
+    std::uint32_t done = 0;
+    while (done < len) {
+        Addr a = addr + done;
+        std::uint64_t idx = a / kChunk;
+        std::uint32_t off = static_cast<std::uint32_t>(a % kChunk);
+        std::uint32_t n = std::min(len - done, kChunk - off);
+        auto& chunk = chunks_[idx];
+        if (chunk.empty())
+            chunk.assign(kChunk, 0);
+        std::memcpy(chunk.data() + off, data + done, n);
+        done += n;
+    }
+}
+
+void
+NvmMedia::loadBytes(Addr addr, std::uint32_t len, std::uint8_t* buf) const
+{
+    NVDC_ASSERT(addr + len <= capacity_, "media read out of range");
+    std::uint32_t done = 0;
+    while (done < len) {
+        Addr a = addr + done;
+        std::uint64_t idx = a / kChunk;
+        std::uint32_t off = static_cast<std::uint32_t>(a % kChunk);
+        std::uint32_t n = std::min(len - done, kChunk - off);
+        auto it = chunks_.find(idx);
+        if (it == chunks_.end())
+            std::memset(buf + done, 0, n);
+        else
+            std::memcpy(buf + done, it->second.data() + off, n);
+        done += n;
+    }
+}
+
+void
+NvmMedia::readRange(Addr addr, std::uint32_t len, std::uint8_t* buf,
+                    Callback done)
+{
+    Tick service = readServiceTime(addr, len);
+    stats_.reads.inc();
+    stats_.readLatency.record(service);
+    if (buf)
+        loadBytes(addr, len, buf);
+    eq_.scheduleAfter(service, std::move(done));
+}
+
+void
+NvmMedia::writeRange(Addr addr, std::uint32_t len,
+                     const std::uint8_t* data, Callback done)
+{
+    Tick service = writeServiceTime(addr, len);
+    stats_.writes.inc();
+    stats_.writeLatency.record(service);
+    if (data)
+        storeBytes(addr, len, data);
+    eq_.scheduleAfter(service, std::move(done));
+}
+
+SimpleMedia::SimpleMedia(EventQueue& eq, std::string name,
+                         std::uint64_t capacity, const Params& p)
+    : NvmMedia(eq, std::move(name), capacity), params_(p)
+{
+}
+
+Tick
+SimpleMedia::transferTime(std::uint32_t len) const
+{
+    double bytes_per_ps = params_.bandwidthMBps * 1e6 / 1e12;
+    return static_cast<Tick>(static_cast<double>(len) / bytes_per_ps);
+}
+
+Tick
+SimpleMedia::readServiceTime(Addr, std::uint32_t len)
+{
+    Tick start = std::max(eq_.now(), busyUntil_);
+    Tick finish = start + params_.readLatency + transferTime(len);
+    busyUntil_ = finish;
+    return finish - eq_.now();
+}
+
+Tick
+SimpleMedia::writeServiceTime(Addr, std::uint32_t len)
+{
+    Tick start = std::max(eq_.now(), busyUntil_);
+    Tick finish = start + params_.writeLatency + transferTime(len);
+    busyUntil_ = finish;
+    return finish - eq_.now();
+}
+
+} // namespace nvdimmc::nvm

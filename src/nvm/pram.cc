@@ -1,0 +1,2 @@
+// Pram is a header-only preset over SimpleMedia.
+#include "nvm/pram.hh"

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Phase-change RAM media preset (3DX-class latencies, paper refs
+ * [3][5][43]): reads of hundreds of nanoseconds, writes around a
+ * microsecond, asymmetric bandwidth.
+ */
+
+#ifndef NVDIMMC_NVM_PRAM_HH
+#define NVDIMMC_NVM_PRAM_HH
+
+#include "nvm/nvm_media.hh"
+
+namespace nvdimmc::nvm
+{
+
+/** PRAM media. */
+class Pram : public SimpleMedia
+{
+  public:
+    Pram(EventQueue& eq, std::uint64_t capacity)
+        : SimpleMedia(eq, "pram", capacity, defaultParams())
+    {
+    }
+
+    static Params
+    defaultParams()
+    {
+        Params p;
+        p.readLatency = 300 * kNs;
+        p.writeLatency = 1 * kUs;
+        p.bandwidthMBps = 2000.0;
+        return p;
+    }
+};
+
+} // namespace nvdimmc::nvm
+
+#endif // NVDIMMC_NVM_PRAM_HH

@@ -1,0 +1,2 @@
+// SttMram is a header-only preset over SimpleMedia.
+#include "nvm/sttmram.hh"

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * STT-MRAM media preset (paper refs [1][14][15]): tens-of-nanoseconds
+ * reads and writes — the only media fast enough for the paper's
+ * rejected NVMC-as-frontend design, and the best case for NVDIMM-C's
+ * backend.
+ */
+
+#ifndef NVDIMMC_NVM_STTMRAM_HH
+#define NVDIMMC_NVM_STTMRAM_HH
+
+#include "nvm/nvm_media.hh"
+
+namespace nvdimmc::nvm
+{
+
+/** STT-MRAM media. */
+class SttMram : public SimpleMedia
+{
+  public:
+    SttMram(EventQueue& eq, std::uint64_t capacity)
+        : SimpleMedia(eq, "stt-mram", capacity, defaultParams())
+    {
+    }
+
+    static Params
+    defaultParams()
+    {
+        Params p;
+        p.readLatency = 50 * kNs;
+        p.writeLatency = 50 * kNs;
+        p.bandwidthMBps = 6000.0;
+        return p;
+    }
+};
+
+} // namespace nvdimmc::nvm
+
+#endif // NVDIMMC_NVM_STTMRAM_HH

@@ -1,0 +1,174 @@
+#include "nvmc/cp_protocol.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::nvmc
+{
+
+const char*
+toString(CpOpcode op)
+{
+    switch (op) {
+      case CpOpcode::Nop: return "NOP";
+      case CpOpcode::Cachefill: return "CACHEFILL";
+      case CpOpcode::Writeback: return "WRITEBACK";
+      case CpOpcode::WritebackCachefill: return "WB+CF";
+    }
+    return "?";
+}
+
+namespace
+{
+
+void
+put64(std::uint8_t* p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+get64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+encodeCpCommand(const CpCommand& cmd, std::uint8_t out[64])
+{
+    std::memset(out, 0, 64);
+    // Word 0: phase[7:0] opcode[15:8] dram_slot[39:16] nand_page[63:40]
+    // (the paper's 64-bit command word). Wide fields spill into word 1
+    // for the merged command and for large devices.
+    std::uint64_t w0 = std::uint64_t{cmd.phase} |
+                       (std::uint64_t{static_cast<std::uint8_t>(
+                            cmd.opcode)} << 8) |
+                       ((std::uint64_t{cmd.dramSlot} & 0xffffff) << 16) |
+                       ((cmd.nandPage & 0xffffff) << 40);
+    put64(out, w0);
+    // Word 1: high bits of nandPage (above 24 bits).
+    put64(out + 8, cmd.nandPage >> 24);
+    // Words 2-3: second pair for the merged command.
+    put64(out + 16, (std::uint64_t{cmd.dramSlot2} & 0xffffffff) |
+                        ((cmd.nandPage2 & 0xffffffff) << 32));
+    put64(out + 24, cmd.nandPage2 >> 32);
+}
+
+CpCommand
+decodeCpCommand(const std::uint8_t in[64])
+{
+    CpCommand cmd;
+    std::uint64_t w0 = get64(in);
+    cmd.phase = static_cast<std::uint8_t>(w0 & 0xff);
+    cmd.opcode = static_cast<CpOpcode>((w0 >> 8) & 0xff);
+    cmd.dramSlot = static_cast<std::uint32_t>((w0 >> 16) & 0xffffff);
+    cmd.nandPage = (w0 >> 40) | (get64(in + 8) << 24);
+    std::uint64_t w2 = get64(in + 16);
+    cmd.dramSlot2 = static_cast<std::uint32_t>(w2 & 0xffffffff);
+    cmd.nandPage2 = (w2 >> 32) | (get64(in + 24) << 32);
+    return cmd;
+}
+
+void
+encodeCpAck(const CpAck& ack, std::uint8_t out[64])
+{
+    std::memset(out, 0, 64);
+    out[0] = ack.phase;
+    out[1] = ack.status;
+}
+
+CpAck
+decodeCpAck(const std::uint8_t in[64])
+{
+    CpAck ack;
+    ack.phase = in[0];
+    ack.status = in[1];
+    return ack;
+}
+
+ReservedLayout::ReservedLayout(std::uint64_t region_bytes,
+                               std::uint32_t max_commands)
+    : regionBytes(region_bytes), maxCommands(max_commands)
+{
+    if (max_commands == 0 || max_commands > kMaxQueueDepth)
+        fatal("ReservedLayout: bad CP queue depth ", max_commands);
+    if (region_bytes < 16 * kPageBytes)
+        fatal("ReservedLayout: reserved region too small");
+
+    // Solve for the slot count: CP page + metadata + slots <= region.
+    std::uint64_t avail = region_bytes - kPageBytes;
+    // Each slot needs a page plus a metadata entry (rounded up to
+    // whole pages for the metadata area).
+    std::uint64_t slots = avail / kPageBytes;
+    for (;;) {
+        std::uint64_t meta =
+            (slots * kMetaEntryBytes + kPageBytes - 1) / kPageBytes *
+            kPageBytes;
+        if (meta + slots * kPageBytes <= avail || slots == 0)
+            break;
+        --slots;
+    }
+    slotCount_ = static_cast<std::uint32_t>(slots);
+    metadataBytes_ =
+        (slots * kMetaEntryBytes + kPageBytes - 1) / kPageBytes *
+        kPageBytes;
+    slotsBase_ = kPageBytes + metadataBytes_;
+}
+
+Addr
+ReservedLayout::commandAddr(std::uint32_t i) const
+{
+    NVDC_ASSERT(i < maxCommands, "CP command index out of range");
+    return std::uint64_t{i} * kLineBytes;
+}
+
+Addr
+ReservedLayout::ackAddr(std::uint32_t i) const
+{
+    NVDC_ASSERT(i < maxCommands, "CP ack index out of range");
+    return kAckOffsetInPage + std::uint64_t{i} * kLineBytes;
+}
+
+Addr
+ReservedLayout::metadataAddr(std::uint32_t slot) const
+{
+    NVDC_ASSERT(slot < slotCount_, "metadata slot out of range");
+    return metadataBase() + std::uint64_t{slot} * kMetaEntryBytes;
+}
+
+Addr
+ReservedLayout::slotAddr(std::uint32_t slot) const
+{
+    NVDC_ASSERT(slot < slotCount_, "cache slot out of range");
+    return slotsBase_ + std::uint64_t{slot} * kPageBytes;
+}
+
+void
+encodeSlotMetadata(const SlotMetadata& m, std::uint8_t out[16])
+{
+    std::memset(out, 0, 16);
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(m.nandPage >> (8 * i));
+    out[8] = static_cast<std::uint8_t>((m.valid ? 1 : 0) |
+                                       (m.dirty ? 2 : 0));
+}
+
+SlotMetadata
+decodeSlotMetadata(const std::uint8_t in[16])
+{
+    SlotMetadata m;
+    for (int i = 0; i < 8; ++i)
+        m.nandPage |= std::uint64_t{in[i]} << (8 * i);
+    m.valid = (in[8] & 1) != 0;
+    m.dirty = (in[8] & 2) != 0;
+    return m;
+}
+
+} // namespace nvdimmc::nvmc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Communication-protocol (CP) area definitions shared by the nvdc
+ * driver and the FPGA firmware (paper §IV-C).
+ *
+ * The first physical page of the reserved DRAM region is the CP area.
+ * A command is a 64-bit word stored in its own cache line with four
+ * bit-fields: Phase, Opcode, DRAM_Slot_ID and NAND_Page_ID; the
+ * acknowledgement region lives in the second half of the CP page. The
+ * merged writeback+cachefill command (paper §VII-C optimization (4))
+ * carries a second slot/page pair in the same line.
+ *
+ * Layout of the reserved region (paper Fig 5):
+ *   [ CP page (4 KB) | metadata area | cache slots ... ]
+ */
+
+#ifndef NVDIMMC_NVMC_CP_PROTOCOL_HH
+#define NVDIMMC_NVMC_CP_PROTOCOL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nvdimmc::nvmc
+{
+
+/** Operation requested by the driver. */
+enum class CpOpcode : std::uint8_t
+{
+    Nop = 0,
+    Cachefill = 1,          ///< NAND page -> DRAM slot.
+    Writeback = 2,          ///< DRAM slot -> NAND page.
+    WritebackCachefill = 3, ///< Merged (ablation): wb pair + cf pair.
+};
+
+const char* toString(CpOpcode op);
+
+/** One CP command (decoded form). */
+struct CpCommand
+{
+    std::uint8_t phase = 0; ///< Non-zero, changes per new command.
+    CpOpcode opcode = CpOpcode::Nop;
+    std::uint32_t dramSlot = 0;
+    std::uint64_t nandPage = 0;
+    /** Second pair, used only by WritebackCachefill (the cf half). */
+    std::uint32_t dramSlot2 = 0;
+    std::uint64_t nandPage2 = 0;
+
+    bool operator==(const CpCommand&) const = default;
+};
+
+/** Acknowledgement word written by the firmware. */
+struct CpAck
+{
+    std::uint8_t phase = 0; ///< Echo of the command's phase.
+    std::uint8_t status = 0; ///< 1 = success.
+
+    bool operator==(const CpAck&) const = default;
+};
+
+/** @name 64 B line (de)serialization. */
+/** @{ */
+void encodeCpCommand(const CpCommand& cmd, std::uint8_t out[64]);
+CpCommand decodeCpCommand(const std::uint8_t in[64]);
+void encodeCpAck(const CpAck& ack, std::uint8_t out[64]);
+CpAck decodeCpAck(const std::uint8_t in[64]);
+/** @} */
+
+/** Geometry of the reserved DRAM region. */
+struct ReservedLayout
+{
+    std::uint64_t regionBytes = 0;   ///< Total reserved size.
+    std::uint32_t maxCommands = 1;   ///< CP queue depth exposed.
+
+    static constexpr std::uint32_t kPageBytes = 4096;
+    static constexpr std::uint32_t kLineBytes = 64;
+    static constexpr std::uint32_t kMetaEntryBytes = 16;
+    /** Ack region starts halfway into the CP page. */
+    static constexpr std::uint32_t kAckOffsetInPage = 2048;
+    /** Up to 31 command slots fit below the ack region. */
+    static constexpr std::uint32_t kMaxQueueDepth = 31;
+
+    explicit ReservedLayout(std::uint64_t region_bytes,
+                            std::uint32_t max_commands = 1);
+
+    /** Byte address (within the region) of command slot @p i. */
+    Addr commandAddr(std::uint32_t i) const;
+    /** Byte address of the ack line for command slot @p i. */
+    Addr ackAddr(std::uint32_t i) const;
+    /** Byte address of metadata entry for cache slot @p slot. */
+    Addr metadataAddr(std::uint32_t slot) const;
+
+    Addr metadataBase() const { return kPageBytes; }
+    std::uint64_t metadataBytes() const { return metadataBytes_; }
+    /** Byte address of 4 KB cache slot @p slot. */
+    Addr slotAddr(std::uint32_t slot) const;
+    std::uint32_t slotCount() const { return slotCount_; }
+
+  private:
+    std::uint64_t metadataBytes_ = 0;
+    Addr slotsBase_ = 0;
+    std::uint32_t slotCount_ = 0;
+};
+
+/**
+ * Metadata entry describing one cache slot, stored *in DRAM* so the
+ * firmware's power-fail dump can recover the mapping (paper §V-C).
+ */
+struct SlotMetadata
+{
+    std::uint64_t nandPage = 0;
+    bool valid = false;
+    bool dirty = false;
+
+    bool operator==(const SlotMetadata&) const = default;
+};
+
+void encodeSlotMetadata(const SlotMetadata& m, std::uint8_t out[16]);
+SlotMetadata decodeSlotMetadata(const std::uint8_t in[16]);
+
+} // namespace nvdimmc::nvmc
+
+#endif // NVDIMMC_NVMC_CP_PROTOCOL_HH

@@ -1,0 +1,209 @@
+#include "nvmc/ddr4_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::nvmc
+{
+
+using dram::AddressMap;
+using dram::Ddr4Op;
+
+NvmcDdr4Controller::NvmcDdr4Controller(EventQueue& eq,
+                                       bus::MemoryBus& bus)
+    : eq_(eq),
+      bus_(bus),
+      masterId_(bus.registerMaster("nvmc")),
+      shadow_(bus.dram().addressMap(), bus.dram().timing())
+{
+}
+
+void
+NvmcDdr4Controller::noteRefresh(Tick ref_tick)
+{
+    // The host precharged all banks before REF; mirror that so our
+    // shadow starts each window from the true all-closed state.
+    Tick prea_tick =
+        ref_tick > bus_.dram().timing().tRP
+            ? ref_tick - bus_.dram().timing().tRP
+            : 0;
+    shadow_.onPrechargeAll(prea_tick);
+    shadow_.onRefresh(ref_tick);
+    openBank_ = -1;
+}
+
+Tick
+NvmcDdr4Controller::casTail() const
+{
+    const auto& t = bus_.dram().timing();
+    if (isWrite_)
+        return t.tCWL + t.burstTime() + t.tWR + t.tCK;
+    return t.tCL + t.burstTime() + t.tCK;
+}
+
+void
+NvmcDdr4Controller::transferInWindow(Addr addr, std::uint32_t bytes,
+                                     bool is_write,
+                                     std::uint8_t* read_buf,
+                                     const std::uint8_t* write_data,
+                                     Tick win_start, Tick win_end,
+                                     DoneFn done)
+{
+    NVDC_ASSERT(!active_, "NvmcDdr4Controller already busy");
+    NVDC_ASSERT(addr % AddressMap::kBurstBytes == 0 &&
+                bytes % AddressMap::kBurstBytes == 0,
+                "transfer must be 64B aligned");
+    active_ = true;
+    addr_ = addr;
+    bytesLeft_ = bytes;
+    bytesDone_ = 0;
+    isWrite_ = is_write;
+    readBuf_ = read_buf;
+    writeData_ = write_data;
+    winEnd_ = win_end;
+    done_ = std::move(done);
+    stats_.transfers.inc();
+
+    Tick start = std::max(win_start, eq_.now());
+    eq_.schedule(start, [this] { step(); });
+}
+
+void
+NvmcDdr4Controller::step()
+{
+    const Tick now = eq_.now();
+    const auto& t = bus_.dram().timing();
+    const auto& map = bus_.dram().addressMap();
+
+    if (bytesLeft_ == 0) {
+        finish();
+        return;
+    }
+
+    dram::DramCoord c = map.decompose(addr_ + bytesDone_);
+    std::uint32_t fb = map.flatBank(c);
+
+    // Close a foreign bank / wrong row first.
+    if (openBank_ >= 0 &&
+        (static_cast<std::uint32_t>(openBank_) != fb ||
+         shadow_.openRow(fb) != c.row)) {
+        auto ob = static_cast<std::uint32_t>(openBank_);
+        Tick ready = shadow_.earliestPrecharge(ob);
+        if (ready + t.tCK > winEnd_) {
+            // No room even to close; truncate here (the closing PRE
+            // happens in finish()).
+            finish();
+            return;
+        }
+        if (ready > now) {
+            eq_.schedule(ready, [this] { step(); });
+            return;
+        }
+        // Recompute the open bank's coordinates from its flat index.
+        std::uint8_t bg = static_cast<std::uint8_t>(
+            ob / map.banksPerGroup());
+        std::uint8_t ba = static_cast<std::uint8_t>(
+            ob % map.banksPerGroup());
+        bus_.issueCommand(masterId_, {Ddr4Op::Precharge, bg, ba, 0, 0});
+        shadow_.onPrecharge(ob, now);
+        openBank_ = -1;
+        eq_.schedule(now + t.tCK, [this] { step(); });
+        return;
+    }
+
+    if (openBank_ < 0) {
+        Tick ready = shadow_.earliestActivate(fb, c.bankGroup);
+        // After ACT there must still be room for at least one CAS.
+        Tick first_cas = std::max(ready, now) + t.tRCD;
+        if (first_cas + casTail() > winEnd_) {
+            finish();
+            return;
+        }
+        if (ready > now) {
+            eq_.schedule(ready, [this] { step(); });
+            return;
+        }
+        bus_.issueCommand(masterId_, {Ddr4Op::Activate, c.bankGroup,
+                                      c.bank, c.row, 0});
+        shadow_.onActivate(fb, c.bankGroup, c.row, now);
+        openBank_ = static_cast<std::int32_t>(fb);
+        eq_.schedule(now + t.tRCD, [this] { step(); });
+        return;
+    }
+
+    // Bank open at the right row: issue the CAS.
+    Tick ready = isWrite_ ? shadow_.earliestWrite(fb, c.bankGroup)
+                          : shadow_.earliestRead(fb, c.bankGroup);
+    if (std::max(ready, now) + casTail() > winEnd_) {
+        finish();
+        return;
+    }
+    if (ready > now) {
+        eq_.schedule(ready, [this] { step(); });
+        return;
+    }
+
+    if (isWrite_) {
+        bus_.issueCommand(masterId_, {Ddr4Op::Write, c.bankGroup,
+                                      c.bank, c.row, c.col});
+        shadow_.onWrite(fb, c.bankGroup, now);
+        if (writeData_) {
+            bus_.dram().writeBurst(c, writeData_ + bytesDone_);
+        }
+        stats_.bytesWritten.inc(AddressMap::kBurstBytes);
+    } else {
+        bus_.issueCommand(masterId_, {Ddr4Op::Read, c.bankGroup,
+                                      c.bank, c.row, c.col});
+        shadow_.onRead(fb, c.bankGroup, now);
+        if (readBuf_)
+            bus_.dram().readBurst(c, readBuf_ + bytesDone_);
+        stats_.bytesRead.inc(AddressMap::kBurstBytes);
+    }
+    bytesDone_ += AddressMap::kBurstBytes;
+    bytesLeft_ -= AddressMap::kBurstBytes;
+
+    eq_.schedule(now + t.tCCD_L, [this] { step(); });
+}
+
+void
+NvmcDdr4Controller::finish()
+{
+    const auto& t = bus_.dram().timing();
+
+    if (bytesLeft_ > 0)
+        stats_.truncatedTransfers.inc();
+
+    if (openBank_ >= 0) {
+        auto ob = static_cast<std::uint32_t>(openBank_);
+        Tick ready = std::max(shadow_.earliestPrecharge(ob), eq_.now());
+        // The fit checks in step() reserved room for this PRE.
+        if (ready + t.tCK > winEnd_)
+            warn("NvmcDdr4Controller: closing PRE pushed past window");
+        eq_.schedule(ready, [this, ob] {
+            const auto& bank_map = bus_.dram().addressMap();
+            std::uint8_t bg = static_cast<std::uint8_t>(
+                ob / bank_map.banksPerGroup());
+            std::uint8_t ba = static_cast<std::uint8_t>(
+                ob % bank_map.banksPerGroup());
+            bus_.issueCommand(masterId_,
+                              {Ddr4Op::Precharge, bg, ba, 0, 0});
+            shadow_.onPrecharge(ob, eq_.now());
+            openBank_ = -1;
+            active_ = false;
+            auto done = std::move(done_);
+            auto n = bytesDone_;
+            if (done)
+                done(n);
+        });
+        return;
+    }
+
+    active_ = false;
+    auto done = std::move(done_);
+    auto n = bytesDone_;
+    if (done)
+        done(n);
+}
+
+} // namespace nvdimmc::nvmc

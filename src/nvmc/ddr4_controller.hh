@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The NVMC-side DDR4 master (the "DDR4 controller" of paper Fig 4).
+ *
+ * Drives real ACT/RD/WR/PRE commands onto the *shared* bus, but only
+ * inside a caller-supplied window. Every command goes through
+ * bus::MemoryBus, so if the window math is wrong (or gating is
+ * disabled for failure injection) the collision checker catches it —
+ * the model never cheats by touching the DRAM array out of band.
+ *
+ * The controller is configured with the same DDR4 timing parameters
+ * as the host (paper §III-B) and keeps its own TimingShadow.
+ */
+
+#ifndef NVDIMMC_NVMC_DDR4_CONTROLLER_HH
+#define NVDIMMC_NVMC_DDR4_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "bus/memory_bus.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "imc/scheduler.hh"
+
+namespace nvdimmc::nvmc
+{
+
+/** Controller statistics. */
+struct NvmcCtrlStats
+{
+    Counter transfers;
+    Counter bytesRead;
+    Counter bytesWritten;
+    Counter truncatedTransfers; ///< Window ended before all bytes.
+};
+
+/** Window-gated DDR4 bus master. */
+class NvmcDdr4Controller
+{
+  public:
+    using DoneFn = std::function<void(std::uint32_t bytes_done)>;
+
+    NvmcDdr4Controller(EventQueue& eq, bus::MemoryBus& bus);
+
+    /**
+     * Move @p bytes starting at DRAM byte address @p addr (64 B
+     * aligned, 64 B multiple), issuing every command inside
+     * [win_start, win_end). Data is read into @p read_buf or taken
+     * from @p write_data (either may be null for timing-only).
+     * @p done fires when the transfer's final command (the closing
+     * PRE) has issued, with the byte count actually moved.
+     *
+     * Only one transfer may be in flight at a time.
+     */
+    void transferInWindow(Addr addr, std::uint32_t bytes,
+                          bool is_write, std::uint8_t* read_buf,
+                          const std::uint8_t* write_data,
+                          Tick win_start, Tick win_end, DoneFn done);
+
+    /**
+     * Tell the shadow a REF was issued at @p ref_tick (all banks were
+     * precharged beforehand by the host's PREA).
+     */
+    void noteRefresh(Tick ref_tick);
+
+    bool busy() const { return active_; }
+
+    const NvmcCtrlStats& stats() const { return stats_; }
+
+  private:
+    void step();
+    void finish();
+    /** Command slots + data tail a CAS must fit before winEnd_. */
+    Tick casTail() const;
+
+    EventQueue& eq_;
+    bus::MemoryBus& bus_;
+    int masterId_;
+    imc::TimingShadow shadow_;
+
+    bool active_ = false;
+    Addr addr_ = 0;
+    std::uint32_t bytesLeft_ = 0;
+    std::uint32_t bytesDone_ = 0;
+    bool isWrite_ = false;
+    std::uint8_t* readBuf_ = nullptr;
+    const std::uint8_t* writeData_ = nullptr;
+    Tick winEnd_ = 0;
+    DoneFn done_;
+
+    /** Flat index of the bank this controller currently holds open. */
+    std::int32_t openBank_ = -1;
+
+    NvmcCtrlStats stats_;
+};
+
+} // namespace nvdimmc::nvmc
+
+#endif // NVDIMMC_NVMC_DDR4_CONTROLLER_HH

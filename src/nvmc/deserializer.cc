@@ -1,0 +1,2 @@
+// Deserializer is header-only.
+#include "nvmc/deserializer.hh"

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * 1:8 deserializer (paper Fig 4).
+ *
+ * The FPGA cannot sample the DDR-rate CA pins directly; each tapped
+ * signal goes through a serial-to-parallel converter that captures the
+ * pin every clock edge and emits an 8-bit parallel word every four
+ * clock cycles. Functionally this adds a fixed detection latency; the
+ * bit-level model here is also exercised directly by unit tests.
+ */
+
+#ifndef NVDIMMC_NVMC_DESERIALIZER_HH
+#define NVDIMMC_NVMC_DESERIALIZER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace nvdimmc::nvmc
+{
+
+/** One serial lane's 1:8 shift-register deserializer. */
+class Deserializer
+{
+  public:
+    using WordCallback = std::function<void(std::uint8_t)>;
+
+    explicit Deserializer(WordCallback on_word)
+        : onWord_(std::move(on_word))
+    {
+    }
+
+    /**
+     * Sample the pin once (one DDR edge). After eight samples the
+     * assembled word (first sample = LSB) is emitted.
+     */
+    void
+    sample(bool level)
+    {
+        word_ |= static_cast<std::uint8_t>(level ? 1 : 0) << fill_;
+        if (++fill_ == 8) {
+            if (onWord_)
+                onWord_(word_);
+            word_ = 0;
+            fill_ = 0;
+        }
+    }
+
+    std::uint32_t pendingBits() const { return fill_; }
+
+    /**
+     * Pipeline latency the deserializer adds before a command's pin
+     * state is visible to downstream logic: the capture window (eight
+     * DDR samples = four clock cycles) plus one output register.
+     */
+    static Tick
+    outputDelay(Tick t_ck)
+    {
+        return 4 * t_ck + t_ck;
+    }
+
+  private:
+    WordCallback onWord_;
+    std::uint8_t word_ = 0;
+    std::uint32_t fill_ = 0;
+};
+
+} // namespace nvdimmc::nvmc
+
+#endif // NVDIMMC_NVMC_DESERIALIZER_HH

@@ -1,0 +1,64 @@
+#include "nvmc/nvmc.hh"
+
+#include "common/logging.hh"
+
+namespace nvdimmc::nvmc
+{
+
+Nvmc::Nvmc(EventQueue& eq, bus::MemoryBus& bus,
+           nvm::PageBackend& backend, const ReservedLayout& layout,
+           const NvmcConfig& cfg)
+    : eq_(eq), bus_(bus), layout_(layout), cfg_(cfg)
+{
+    const auto& t = bus.dram().timing();
+    if (cfg_.programmedRefresh.tRFC <= t.tRFC + cfg_.windowGuard) {
+        warn("Nvmc: programmed tRFC (", cfg_.programmedRefresh.tRFC,
+             " ps) leaves no usable window beyond the device tRFC (",
+             t.tRFC, " ps); the NVMC will starve");
+    }
+
+    ctrl_ = std::make_unique<NvmcDdr4Controller>(eq, bus);
+    dma_ = std::make_unique<DmaEngine>(eq, *ctrl_, cfg.bytesPerWindow);
+    firmware_ = std::make_unique<Firmware>(eq, *dma_, backend,
+                                           bus.dram(), layout,
+                                           cfg.firmware);
+
+    RefreshDetector::Params dp = cfg.detector;
+    dp.tCK = t.tCK;
+    detector_ = std::make_unique<RefreshDetector>(
+        eq, dp, [this](Tick cmd_tick) { onRefreshDetected(cmd_tick); });
+    bus.addSnooper(detector_.get());
+}
+
+void
+Nvmc::onRefreshDetected(Tick command_tick)
+{
+    const auto& t = bus_.dram().timing();
+
+    Tick ws, we;
+    if (cfg_.gateDisabled) {
+        // Failure injection: drive immediately after detection, and
+        // don't even tell the controller's shadow a refresh is in
+        // progress — the buggy NVMC believes the DRAM is free.
+        ws = eq_.now();
+        we = command_tick + cfg_.programmedRefresh.tRFC;
+    } else {
+        ctrl_->noteRefresh(command_tick);
+        ws = command_tick + t.tRFC;
+        we = command_tick + cfg_.programmedRefresh.tRFC -
+             cfg_.windowGuard;
+    }
+    if (we <= ws)
+        return; // No usable window (standard tRFC programming).
+
+    ++windowsGranted_;
+    firmware_->onWindow(ws, we);
+}
+
+void
+Nvmc::forceWindowNow(Tick duration)
+{
+    firmware_->onWindow(eq_.now(), eq_.now() + duration);
+}
+
+} // namespace nvdimmc::nvmc

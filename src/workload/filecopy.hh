@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Fig 7 workload: stream a large file off the SATA SSD into the
+ * NVDIMM-C block device and sample the write bandwidth over time. The
+ * curve plateaus at the SSD's sequential read speed while free cache
+ * slots last, then collapses to the writeback+cachefill rate once the
+ * DRAM cache is full.
+ */
+
+#ifndef NVDIMMC_WORKLOAD_FILECOPY_HH
+#define NVDIMMC_WORKLOAD_FILECOPY_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "workload/fio.hh"
+#include "workload/ssd.hh"
+
+namespace nvdimmc::workload
+{
+
+/** File copy configuration. */
+struct FileCopyConfig
+{
+    std::uint64_t fileBytes = 0;
+    std::uint32_t chunkBytes = 256 * 1024;
+    Tick sampleInterval = 100 * kMs;
+    /** Cache capacity in bytes, used to split the phases in the
+     *  result (not to change behaviour). */
+    std::uint64_t cacheBytes = 0;
+};
+
+/** Result: bandwidth-over-bytes-written curve + phase averages. */
+struct FileCopyResult
+{
+    TimeSeries bandwidth; ///< (tick, MB/s) samples.
+    double cachedPhaseMBps = 0.0;
+    double uncachedPhaseMBps = 0.0;
+    Tick elapsed = 0;
+};
+
+/**
+ * Run the copy; drives the event queue until the file is fully
+ * written.
+ */
+FileCopyResult runFileCopy(EventQueue& eq, Ssd& ssd, AccessFn device,
+                           const FileCopyConfig& cfg);
+
+} // namespace nvdimmc::workload
+
+#endif // NVDIMMC_WORKLOAD_FILECOPY_HH

@@ -1,0 +1,218 @@
+#include "workload/mixedload.hh"
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::workload
+{
+
+namespace
+{
+
+/** Deterministic record pattern. */
+void
+fillPattern(std::uint8_t* buf, std::uint32_t len, std::uint64_t seed)
+{
+    std::uint64_t x = seed * 0x9e3779b97f4a7c15ull + 1;
+    for (std::uint32_t i = 0; i < len; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        buf[i] = static_cast<std::uint8_t>(x);
+    }
+}
+
+bool
+checkPattern(const std::uint8_t* buf, std::uint32_t len,
+             std::uint64_t seed)
+{
+    std::uint64_t x = seed * 0x9e3779b97f4a7c15ull + 1;
+    for (std::uint32_t i = 0; i < len; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if (buf[i] != static_cast<std::uint8_t>(x))
+            return false;
+    }
+    return true;
+}
+
+struct UserState
+{
+    unsigned id = 0;
+    Addr base = 0;
+    std::uint64_t slots = 0;
+    unsigned txnsLeft = 0;
+    Rng rng{1};
+    /** slot -> seed of the last committed write. */
+    std::unordered_map<std::uint64_t, std::uint64_t> committed;
+    std::vector<std::uint8_t> buf;
+};
+
+} // namespace
+
+MixedLoadResult
+runMixedLoad(EventQueue& eq, const DataDevice& dev,
+             const MixedLoadConfig& cfg)
+{
+    NVDC_ASSERT(cfg.users > 0 && cfg.regionBytes >= cfg.recordBytes,
+                "mixed-load configuration invalid");
+
+    MixedLoadResult res;
+    Tick start = eq.now();
+
+    std::uint64_t per_user =
+        cfg.regionBytes / cfg.users / cfg.recordBytes;
+    NVDC_ASSERT(per_user >= 1, "region too small for the user count");
+
+    auto users = std::make_shared<std::vector<UserState>>(cfg.users);
+    auto alive = std::make_shared<unsigned>(cfg.users);
+
+    for (unsigned u = 0; u < cfg.users; ++u) {
+        UserState& st = (*users)[u];
+        st.id = u;
+        st.base = cfg.regionOffset +
+                  std::uint64_t{u} * per_user * cfg.recordBytes;
+        st.slots = per_user;
+        st.txnsLeft = cfg.transactionsPerUser;
+        st.rng = Rng(cfg.seed + u * 977 + 3);
+        st.buf.resize(cfg.recordBytes);
+    }
+
+    // One transaction: write recordsPerTxn records, then read each
+    // back (plus one earlier record) and validate.
+    struct Driver
+    {
+        EventQueue& eq;
+        const DataDevice& dev;
+        const MixedLoadConfig& cfg;
+        MixedLoadResult& res;
+        std::shared_ptr<std::vector<UserState>> users;
+        std::shared_ptr<unsigned> alive;
+
+        void
+        runTxn(unsigned u)
+        {
+            UserState& st = (*users)[u];
+            if (st.txnsLeft == 0) {
+                --*alive;
+                return;
+            }
+            st.txnsLeft -= 1;
+            auto written =
+                std::make_shared<std::vector<
+                    std::pair<std::uint64_t, std::uint64_t>>>();
+            writeNext(u, 0, written);
+        }
+
+        void
+        writeNext(unsigned u, unsigned r,
+                  std::shared_ptr<std::vector<
+                      std::pair<std::uint64_t, std::uint64_t>>> written)
+        {
+            UserState& st = (*users)[u];
+            if (r >= cfg.recordsPerTxn) {
+                validateNext(u, 0, written);
+                return;
+            }
+            // Pick a slot not already written by this transaction (a
+            // transaction updates distinct records).
+            std::uint64_t slot = st.rng.below(st.slots);
+            for (int tries = 0; tries < 64; ++tries) {
+                bool clash = false;
+                for (const auto& [s, unused] : *written) {
+                    if (s == slot)
+                        clash = true;
+                }
+                if (!clash)
+                    break;
+                slot = st.rng.below(st.slots);
+            }
+            std::uint64_t seed =
+                (std::uint64_t{st.id} << 40) ^
+                (st.rng.next64() | 1);
+            fillPattern(st.buf.data(), cfg.recordBytes, seed);
+            Addr addr = st.base + slot * cfg.recordBytes;
+            dev.write(addr, cfg.recordBytes, st.buf.data(),
+                      [this, u, r, slot, seed, written] {
+                          UserState& stx = (*users)[u];
+                          stx.committed[slot] = seed;
+                          written->push_back({slot, seed});
+                          writeNext(u, r + 1, written);
+                      });
+        }
+
+        void
+        validateNext(unsigned u, unsigned idx,
+                     std::shared_ptr<std::vector<
+                         std::pair<std::uint64_t, std::uint64_t>>>
+                         written)
+        {
+            UserState& st = (*users)[u];
+            if (idx >= written->size()) {
+                // Also validate one random earlier record.
+                if (!st.committed.empty()) {
+                    auto it = st.committed.begin();
+                    std::advance(
+                        it, static_cast<long>(
+                                st.rng.below(st.committed.size())));
+                    std::uint64_t slot = it->first;
+                    std::uint64_t seed = it->second;
+                    Addr addr = st.base + slot * cfg.recordBytes;
+                    dev.read(addr, cfg.recordBytes, st.buf.data(),
+                             [this, u, seed, slot] {
+                                 UserState& stx = (*users)[u];
+                                 if (!checkPattern(stx.buf.data(),
+                                                   cfg.recordBytes,
+                                                   seed)) {
+                                     res.validationFailures += 1;
+                                     warn("mixedload: user ", u,
+                                          " slot ", slot,
+                                          " earlier-record mismatch,",
+                                          " got[0]=",
+                                          int(stx.buf[0]));
+                                 }
+                                 res.transactions += 1;
+                                 runTxn(u);
+                             });
+                    return;
+                }
+                res.transactions += 1;
+                runTxn(u);
+                return;
+            }
+            auto [slot, seed] = (*written)[idx];
+            Addr addr = st.base + slot * cfg.recordBytes;
+            dev.read(addr, cfg.recordBytes, st.buf.data(),
+                     [this, u, idx, seed, slot, written] {
+                         UserState& stx = (*users)[u];
+                         if (!checkPattern(stx.buf.data(),
+                                           cfg.recordBytes, seed)) {
+                             res.validationFailures += 1;
+                             warn("mixedload: user ", u, " slot ",
+                                  slot, " immediate readback ",
+                                  "mismatch, got[0]=",
+                                  int(stx.buf[0]));
+                         }
+                         validateNext(u, idx + 1, written);
+                     });
+        }
+    };
+
+    auto drv = std::make_shared<Driver>(
+        Driver{eq, dev, cfg, res, users, alive});
+    for (unsigned u = 0; u < cfg.users; ++u)
+        drv->runTxn(u);
+
+    while (*alive > 0 && eq.runOne()) {
+    }
+
+    res.elapsed = eq.now() - start;
+    return res;
+}
+
+} // namespace nvdimmc::workload

@@ -1,0 +1,2 @@
+// Ssd is header-only.
+#include "workload/ssd.hh"

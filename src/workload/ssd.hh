@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SATA SSD source/sink model (Table I: PM863, 520/475 MB/s sequential)
+ * — the rate limiter behind Fig 7's "Cached" plateau.
+ */
+
+#ifndef NVDIMMC_WORKLOAD_SSD_HH
+#define NVDIMMC_WORKLOAD_SSD_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+
+namespace nvdimmc::workload
+{
+
+/** The SSD. */
+class Ssd
+{
+  public:
+    struct Params
+    {
+        double seqReadMBps = 520.0;
+        double seqWriteMBps = 475.0;
+        Tick commandOverhead = 20000; ///< 20 ns per command.
+    };
+
+    Ssd(EventQueue& eq, const Params& p) : eq_(eq), params_(p) {}
+
+    /** Sequential read of @p bytes; completes at the drive's rate. */
+    void
+    read(std::uint64_t bytes, std::function<void()> done)
+    {
+        issue(bytes, params_.seqReadMBps, std::move(done));
+        bytesRead_.inc(bytes);
+    }
+
+    /** Sequential write of @p bytes. */
+    void
+    write(std::uint64_t bytes, std::function<void()> done)
+    {
+        issue(bytes, params_.seqWriteMBps, std::move(done));
+        bytesWritten_.inc(bytes);
+    }
+
+    std::uint64_t bytesRead() const { return bytesRead_.value(); }
+    std::uint64_t bytesWritten() const { return bytesWritten_.value(); }
+
+  private:
+    void
+    issue(std::uint64_t bytes, double mbps, std::function<void()> done)
+    {
+        double bytes_per_ps = mbps * 1e6 / 1e12;
+        auto busy = static_cast<Tick>(
+            static_cast<double>(bytes) / bytes_per_ps);
+        Tick start = std::max(eq_.now(), busyUntil_);
+        busyUntil_ = start + params_.commandOverhead + busy;
+        eq_.schedule(busyUntil_, std::move(done));
+    }
+
+    EventQueue& eq_;
+    Params params_;
+    Tick busyUntil_ = 0;
+    Counter bytesRead_;
+    Counter bytesWritten_;
+};
+
+} // namespace nvdimmc::workload
+
+#endif // NVDIMMC_WORKLOAD_SSD_HH

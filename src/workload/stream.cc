@@ -1,0 +1,135 @@
+#include "workload/stream.hh"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::workload
+{
+
+namespace
+{
+
+/** Device-resident array helper: arrays a, b, c laid out back to
+ *  back from regionOffset. */
+struct Arrays
+{
+    Addr base;
+    std::uint64_t bytes; ///< Per array.
+
+    Addr a() const { return base; }
+    Addr b() const { return base + bytes; }
+    Addr c() const { return base + 2 * bytes; }
+};
+
+} // namespace
+
+StreamResult
+runStream(EventQueue& eq, const DataDevice& dev, const StreamConfig& cfg)
+{
+    StreamResult res;
+    Tick start = eq.now();
+
+    const std::uint64_t n = cfg.elements;
+    const std::uint64_t bytes = n * sizeof(double);
+    Arrays arr{cfg.regionOffset, bytes};
+
+    // Reference copies in host memory.
+    std::vector<double> ref_a(n), ref_b(n), ref_c(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ref_a[i] = 1.0 + static_cast<double>(i % 97);
+        ref_b[i] = 2.0;
+        ref_c[i] = 0.0;
+    }
+
+    auto io = std::make_shared<std::vector<std::uint8_t>>(bytes);
+    bool finished = false;
+
+    auto write_array = [&](Addr addr, const std::vector<double>& v,
+                           std::function<void()> done) {
+        std::memcpy(io->data(), v.data(), bytes);
+        dev.write(addr, static_cast<std::uint32_t>(bytes), io->data(),
+                  std::move(done));
+    };
+    auto read_array = [&](Addr addr, std::vector<double>& v,
+                          std::function<void()> done) {
+        dev.read(addr, static_cast<std::uint32_t>(bytes), io->data(),
+                 [&v, io, bytes, done = std::move(done)] {
+                     std::memcpy(v.data(), io->data(), bytes);
+                     done();
+                 });
+    };
+
+    std::vector<double> got(n);
+
+    // Kernel pipeline per iteration:
+    //   Copy:  c = a;   Scale: b = s*c;   Add: c = a+b;
+    //   Triad: a = b + s*c — each computed from device-read inputs,
+    //   written back, then re-read and checked against the reference.
+    unsigned iter = 0;
+    std::function<void()> run_iter;
+
+    auto verify = [&](const std::vector<double>& expect,
+                      Addr addr, std::function<void()> done) {
+        read_array(addr, got, [&, done = std::move(done)] {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (got[i] != expect[i])
+                    res.elementMismatches += 1;
+            }
+            res.kernelsRun += 1;
+            done();
+        });
+    };
+
+    run_iter = [&] {
+        if (iter >= cfg.iterations) {
+            finished = true;
+            return;
+        }
+        iter += 1;
+        // Copy.
+        for (std::uint64_t i = 0; i < n; ++i)
+            ref_c[i] = ref_a[i];
+        write_array(arr.c(), ref_c, [&] {
+            verify(ref_c, arr.c(), [&] {
+                // Scale.
+                for (std::uint64_t i = 0; i < n; ++i)
+                    ref_b[i] = cfg.scalar * ref_c[i];
+                write_array(arr.b(), ref_b, [&] {
+                    verify(ref_b, arr.b(), [&] {
+                        // Add.
+                        for (std::uint64_t i = 0; i < n; ++i)
+                            ref_c[i] = ref_a[i] + ref_b[i];
+                        write_array(arr.c(), ref_c, [&] {
+                            verify(ref_c, arr.c(), [&] {
+                                // Triad.
+                                for (std::uint64_t i = 0; i < n; ++i)
+                                    ref_a[i] = ref_b[i] +
+                                               cfg.scalar * ref_c[i];
+                                write_array(arr.a(), ref_a, [&] {
+                                    verify(ref_a, arr.a(), run_iter);
+                                });
+                            });
+                        });
+                    });
+                });
+            });
+        });
+    };
+
+    // Seed the arrays on the device first.
+    write_array(arr.a(), ref_a, [&] {
+        write_array(arr.b(), ref_b, [&] {
+            write_array(arr.c(), ref_c, run_iter);
+        });
+    });
+
+    while (!finished && eq.runOne()) {
+    }
+    res.elapsed = eq.now() - start;
+    return res;
+}
+
+} // namespace nvdimmc::workload

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * STREAM-style validation workload (paper §VII-A).
+ *
+ * The paper validates refresh-detection accuracy by hammering the
+ * cached region with a modified STREAM that checks results against
+ * reference data every iteration, while the NVMC keeps using every
+ * refresh window. We run Copy/Scale/Add/Triad over device-resident
+ * arrays with real data, verifying each result element, and report
+ * mismatches — any detector false fire or window-math bug corrupts
+ * data or trips the bus conflict checker.
+ */
+
+#ifndef NVDIMMC_WORKLOAD_STREAM_HH
+#define NVDIMMC_WORKLOAD_STREAM_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "workload/mixedload.hh"
+
+namespace nvdimmc::workload
+{
+
+/** STREAM configuration. */
+struct StreamConfig
+{
+    /** Elements per array (doubles). */
+    std::uint64_t elements = 32768;
+    unsigned iterations = 3;
+    Addr regionOffset = 0;
+    double scalar = 3.0;
+};
+
+/** Outcome. */
+struct StreamResult
+{
+    std::uint64_t kernelsRun = 0;
+    std::uint64_t elementMismatches = 0;
+    Tick elapsed = 0;
+};
+
+/** Run the aging test; drives the event queue to completion. */
+StreamResult runStream(EventQueue& eq, const DataDevice& dev,
+                       const StreamConfig& cfg);
+
+} // namespace nvdimmc::workload
+
+#endif // NVDIMMC_WORKLOAD_STREAM_HH

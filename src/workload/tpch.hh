@@ -1,0 +1,85 @@
+/**
+ * @file
+ * TPC-H-on-HANA access-pattern workload (paper §VII-B5, Fig 11).
+ *
+ * We do not run SQL: Fig 11's signal is the storage-level access
+ * pattern each query induces (ref [30] characterizes them), because
+ * the normalized slowdown vs the baseline is set by how often the
+ * DRAM cache misses and how expensive a miss is. Each query is
+ * described by its touched footprint, sequentiality, access size,
+ * re-reference passes and skew; the generator replays a matching
+ * stream of device accesses. Q1 is the paper's canonical sequential
+ * table scan; Q20 its many-small-random-accesses worst case.
+ */
+
+#ifndef NVDIMMC_WORKLOAD_TPCH_HH
+#define NVDIMMC_WORKLOAD_TPCH_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/event_queue.hh"
+#include "common/random.hh"
+#include "driver/dram_cache.hh"
+#include "workload/fio.hh"
+
+namespace nvdimmc::workload
+{
+
+/** Storage-level characterization of one TPC-H query. */
+struct TpchQuerySpec
+{
+    int id;
+    /** Fraction of the database the query touches. */
+    double footprintFraction;
+    /** Fraction of accesses that are sequential-next. */
+    double seqFraction;
+    /** Typical access granularity in bytes. */
+    std::uint32_t accessBytes;
+    /** How many times the footprint is effectively swept. */
+    double passes;
+    /** Zipf skew of the random accesses (0 = uniform). */
+    double zipfTheta;
+    /**
+     * HANA compute time per byte delivered (ns/B). Scan/aggregation
+     * queries are compute-bound (the paper: Q1 "can become
+     * compute-bound"), which is what damps their device slowdown to
+     * ~3x while random-access queries see the device almost raw.
+     */
+    double computeNsPerByte;
+};
+
+/** The 22 queries. */
+const std::array<TpchQuerySpec, 22>& tpchQuerySpecs();
+
+/** Execution knobs. */
+struct TpchRunConfig
+{
+    std::uint64_t dbBytes = 0;
+    /** Outstanding accesses (HANA scan/join parallelism). */
+    unsigned parallelism = 4;
+    /** Cap on generated accesses (scales the query down). */
+    std::uint64_t maxAccesses = 30000;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Replay one query against a device; drives the event queue.
+ * @return elapsed simulated time.
+ */
+Tick runTpchQuery(EventQueue& eq, const AccessFn& device,
+                  const TpchQuerySpec& q, const TpchRunConfig& cfg);
+
+/**
+ * Replay one query against a bare cache directory (no timing): the
+ * §VII-B5 hit-rate study. @return the hit rate in [0, 1].
+ */
+double replayTpchOnCache(driver::DramCache& cache,
+                         const TpchQuerySpec& q,
+                         std::uint64_t db_pages,
+                         std::uint64_t max_accesses,
+                         std::uint64_t seed);
+
+} // namespace nvdimmc::workload
+
+#endif // NVDIMMC_WORKLOAD_TPCH_HH

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel and utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/sim_mutex.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace nvdimmc
+{
+namespace
+{
+
+TEST(Types, UnitConversions)
+{
+    EXPECT_EQ(kNs, 1000u);
+    EXPECT_EQ(kUs, 1000000u);
+    EXPECT_DOUBLE_EQ(ticksToUs(7800 * kNs), 7.8);
+    EXPECT_EQ(usToTicks(7.8), 7800 * kNs);
+    EXPECT_NEAR(bytesPerTickToMBps(4096, 2230 * kNs), 1836.8, 1.0);
+    EXPECT_NEAR(opsPerTickToKiops(1000, 1 * kMs), 1000.0, 0.01);
+}
+
+TEST(EventQueue, FiresInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(10, [&] { fired = true; });
+    eq.cancel(id);
+    eq.runAll();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsHarmless)
+{
+    EventQueue eq;
+    int fires = 0;
+    EventId id = eq.schedule(10, [&] { ++fires; });
+    eq.schedule(20, [&] { ++fires; });
+    eq.runOne();
+    eq.cancel(id); // Already fired.
+    eq.runAll();
+    EXPECT_EQ(fires, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWhenEmpty)
+{
+    EventQueue eq;
+    eq.runUntil(5000);
+    EXPECT_EQ(eq.now(), 5000u);
+    bool fired = false;
+    eq.schedule(6000, [&] { fired = true; });
+    eq.runUntil(5500);
+    EXPECT_FALSE(fired);
+    eq.runUntil(6000);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runAll();
+    EXPECT_THROW(eq.schedule(50, [] {}), PanicError);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    Tick seen = kTickNever;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(25, [&] { seen = eq.now(); });
+    });
+    eq.runAll();
+    EXPECT_EQ(seen, 125u);
+}
+
+TEST(EventQueue, PendingCountsLiveEvents)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runAll();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, NestedSchedulingWhileRunning)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 100)
+            eq.scheduleAfter(1, recurse);
+    };
+    eq.schedule(0, recurse);
+    eq.runAll();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(Histogram, MeanMinMax)
+{
+    Histogram h;
+    h.record(100);
+    h.record(200);
+    h.record(300);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), 100u);
+    EXPECT_EQ(h.max(), 300u);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h;
+    for (Tick t = 1; t <= 1000; ++t)
+        h.record(t * kNs);
+    Tick p10 = h.percentile(10);
+    Tick p50 = h.percentile(50);
+    Tick p99 = h.percentile(99);
+    EXPECT_LE(p10, p50);
+    EXPECT_LE(p50, p99);
+    EXPECT_GE(p99, 500 * kNs);
+    EXPECT_LE(h.percentile(0), h.percentile(100));
+}
+
+TEST(Histogram, MergeCombinesCounts)
+{
+    Histogram a, b;
+    a.record(10);
+    b.record(1000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 10u);
+    EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Histogram, ZeroSample)
+{
+    Histogram h;
+    h.record(0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng r(11);
+    std::uint64_t low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (r.zipf(1000, 0.8) < 100)
+            ++low;
+    }
+    // With strong skew, far more than 10% of draws land in the first
+    // 10% of ranks.
+    EXPECT_GT(low, static_cast<std::uint64_t>(n) * 3 / 10);
+    // Theta 0 degenerates to uniform.
+    low = 0;
+    for (int i = 0; i < n; ++i) {
+        if (r.zipf(1000, 0.0) < 100)
+            ++low;
+    }
+    EXPECT_NEAR(static_cast<double>(low) / n, 0.1, 0.02);
+}
+
+TEST(Config, ParseAndTypedGet)
+{
+    Config c = Config::parse("a=1,b=2.5,c=hello,d=true,e=0x10");
+    EXPECT_EQ(c.getInt("a", 0), 1);
+    EXPECT_DOUBLE_EQ(c.getDouble("b", 0), 2.5);
+    EXPECT_EQ(c.getString("c", ""), "hello");
+    EXPECT_TRUE(c.getBool("d", false));
+    EXPECT_EQ(c.getInt("e", 0), 16);
+    EXPECT_EQ(c.getInt("missing", 99), 99);
+}
+
+TEST(Config, MalformedInputsThrow)
+{
+    EXPECT_THROW(Config::parse("noequals"), FatalError);
+    EXPECT_THROW(Config::parse("=value"), FatalError);
+    Config c = Config::parse("a=xyz");
+    EXPECT_THROW(c.getInt("a", 0), FatalError);
+    EXPECT_THROW(c.getBool("a", false), FatalError);
+}
+
+TEST(SimMutex, FifoGrantOrder)
+{
+    EventQueue eq;
+    SimMutex m(eq);
+    std::vector<int> order;
+    m.acquire([&] { order.push_back(0); });
+    m.acquire([&] { order.push_back(1); });
+    m.acquire([&] { order.push_back(2); });
+    EXPECT_EQ(order.size(), 1u);
+    EXPECT_EQ(m.waiters(), 2u);
+    m.release();
+    eq.runAll();
+    // The second holder got the lock but has not released yet.
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    m.release();
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    m.release();
+    EXPECT_FALSE(m.held());
+    EXPECT_EQ(m.acquisitions(), 3u);
+}
+
+TEST(SimMutex, ReleaseUnheldPanics)
+{
+    EventQueue eq;
+    SimMutex m(eq);
+    EXPECT_THROW(m.release(), PanicError);
+}
+
+TEST(Logging, PanicAndFatalThrow)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+/** Property sweep: percentile never exceeds max or undercuts min. */
+class HistogramProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HistogramProperty, PercentilesBounded)
+{
+    Rng r(static_cast<std::uint64_t>(GetParam()));
+    Histogram h;
+    for (int i = 0; i < 500; ++i)
+        h.record(r.inRange(1, 1'000'000'000));
+    for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+        Tick v = h.percentile(p);
+        EXPECT_GE(v, h.min());
+        EXPECT_LE(v, h.max());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty,
+                         ::testing::Range(1, 11));
+
+} // namespace
+} // namespace nvdimmc
