@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_hypothetical.dir/bench_fig12_hypothetical.cc.o"
+  "CMakeFiles/bench_fig12_hypothetical.dir/bench_fig12_hypothetical.cc.o.d"
+  "bench_fig12_hypothetical"
+  "bench_fig12_hypothetical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hypothetical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

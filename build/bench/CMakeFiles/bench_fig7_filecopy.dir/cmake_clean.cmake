@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_filecopy.dir/bench_fig7_filecopy.cc.o"
+  "CMakeFiles/bench_fig7_filecopy.dir/bench_fig7_filecopy.cc.o.d"
+  "bench_fig7_filecopy"
+  "bench_fig7_filecopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_filecopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_random4k.dir/bench_fig8_random4k.cc.o"
+  "CMakeFiles/bench_fig8_random4k.dir/bench_fig8_random4k.cc.o.d"
+  "bench_fig8_random4k"
+  "bench_fig8_random4k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_random4k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

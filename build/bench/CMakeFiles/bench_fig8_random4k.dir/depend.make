@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_random4k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixedload.dir/bench_mixedload.cc.o"
+  "CMakeFiles/bench_mixedload.dir/bench_mixedload.cc.o.d"
+  "bench_mixedload"
+  "bench_mixedload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixedload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

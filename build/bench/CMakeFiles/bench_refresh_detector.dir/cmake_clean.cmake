@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refresh_detector.dir/bench_refresh_detector.cc.o"
+  "CMakeFiles/bench_refresh_detector.dir/bench_refresh_detector.cc.o.d"
+  "bench_refresh_detector"
+  "bench_refresh_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refresh_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_inspector.dir/bus_inspector.cpp.o"
+  "CMakeFiles/bus_inspector.dir/bus_inspector.cpp.o.d"
+  "bus_inspector"
+  "bus_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

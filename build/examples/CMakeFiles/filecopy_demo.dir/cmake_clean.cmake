@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filecopy_demo.dir/filecopy_demo.cpp.o"
+  "CMakeFiles/filecopy_demo.dir/filecopy_demo.cpp.o.d"
+  "filecopy_demo"
+  "filecopy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filecopy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/nvdimmc_sim.cpp" "examples/CMakeFiles/nvdimmc_sim.dir/nvdimmc_sim.cpp.o" "gcc" "examples/CMakeFiles/nvdimmc_sim.dir/nvdimmc_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvdimmc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_nvmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_sim.dir/nvdimmc_sim.cpp.o"
+  "CMakeFiles/nvdimmc_sim.dir/nvdimmc_sim.cpp.o.d"
+  "nvdimmc_sim"
+  "nvdimmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

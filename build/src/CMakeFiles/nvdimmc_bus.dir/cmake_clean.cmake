@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_bus.dir/bus/memory_bus.cc.o"
+  "CMakeFiles/nvdimmc_bus.dir/bus/memory_bus.cc.o.d"
+  "libnvdimmc_bus.a"
+  "libnvdimmc_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

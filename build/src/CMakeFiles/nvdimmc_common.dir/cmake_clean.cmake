@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_common.dir/common/config.cc.o"
+  "CMakeFiles/nvdimmc_common.dir/common/config.cc.o.d"
+  "CMakeFiles/nvdimmc_common.dir/common/event_queue.cc.o"
+  "CMakeFiles/nvdimmc_common.dir/common/event_queue.cc.o.d"
+  "CMakeFiles/nvdimmc_common.dir/common/logging.cc.o"
+  "CMakeFiles/nvdimmc_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/nvdimmc_common.dir/common/stats.cc.o"
+  "CMakeFiles/nvdimmc_common.dir/common/stats.cc.o.d"
+  "libnvdimmc_common.a"
+  "libnvdimmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

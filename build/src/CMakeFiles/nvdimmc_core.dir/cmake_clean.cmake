@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_core.dir/core/power.cc.o"
+  "CMakeFiles/nvdimmc_core.dir/core/power.cc.o.d"
+  "CMakeFiles/nvdimmc_core.dir/core/system.cc.o"
+  "CMakeFiles/nvdimmc_core.dir/core/system.cc.o.d"
+  "CMakeFiles/nvdimmc_core.dir/core/system_config.cc.o"
+  "CMakeFiles/nvdimmc_core.dir/core/system_config.cc.o.d"
+  "libnvdimmc_core.a"
+  "libnvdimmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache_model.cc" "src/CMakeFiles/nvdimmc_cpu.dir/cpu/cache_model.cc.o" "gcc" "src/CMakeFiles/nvdimmc_cpu.dir/cpu/cache_model.cc.o.d"
+  "/root/repo/src/cpu/memcpy_engine.cc" "src/CMakeFiles/nvdimmc_cpu.dir/cpu/memcpy_engine.cc.o" "gcc" "src/CMakeFiles/nvdimmc_cpu.dir/cpu/memcpy_engine.cc.o.d"
+  "/root/repo/src/cpu/thread.cc" "src/CMakeFiles/nvdimmc_cpu.dir/cpu/thread.cc.o" "gcc" "src/CMakeFiles/nvdimmc_cpu.dir/cpu/thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvdimmc_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_cpu.dir/cpu/cache_model.cc.o"
+  "CMakeFiles/nvdimmc_cpu.dir/cpu/cache_model.cc.o.d"
+  "CMakeFiles/nvdimmc_cpu.dir/cpu/memcpy_engine.cc.o"
+  "CMakeFiles/nvdimmc_cpu.dir/cpu/memcpy_engine.cc.o.d"
+  "CMakeFiles/nvdimmc_cpu.dir/cpu/thread.cc.o"
+  "CMakeFiles/nvdimmc_cpu.dir/cpu/thread.cc.o.d"
+  "libnvdimmc_cpu.a"
+  "libnvdimmc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

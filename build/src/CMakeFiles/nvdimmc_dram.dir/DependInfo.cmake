@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cc" "src/CMakeFiles/nvdimmc_dram.dir/dram/address_map.cc.o" "gcc" "src/CMakeFiles/nvdimmc_dram.dir/dram/address_map.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/nvdimmc_dram.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/nvdimmc_dram.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/ddr4_command.cc" "src/CMakeFiles/nvdimmc_dram.dir/dram/ddr4_command.cc.o" "gcc" "src/CMakeFiles/nvdimmc_dram.dir/dram/ddr4_command.cc.o.d"
+  "/root/repo/src/dram/dram_device.cc" "src/CMakeFiles/nvdimmc_dram.dir/dram/dram_device.cc.o" "gcc" "src/CMakeFiles/nvdimmc_dram.dir/dram/dram_device.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/nvdimmc_dram.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/nvdimmc_dram.dir/dram/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvdimmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

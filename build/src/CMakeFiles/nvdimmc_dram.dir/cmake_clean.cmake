@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_dram.dir/dram/address_map.cc.o"
+  "CMakeFiles/nvdimmc_dram.dir/dram/address_map.cc.o.d"
+  "CMakeFiles/nvdimmc_dram.dir/dram/bank.cc.o"
+  "CMakeFiles/nvdimmc_dram.dir/dram/bank.cc.o.d"
+  "CMakeFiles/nvdimmc_dram.dir/dram/ddr4_command.cc.o"
+  "CMakeFiles/nvdimmc_dram.dir/dram/ddr4_command.cc.o.d"
+  "CMakeFiles/nvdimmc_dram.dir/dram/dram_device.cc.o"
+  "CMakeFiles/nvdimmc_dram.dir/dram/dram_device.cc.o.d"
+  "CMakeFiles/nvdimmc_dram.dir/dram/timing.cc.o"
+  "CMakeFiles/nvdimmc_dram.dir/dram/timing.cc.o.d"
+  "libnvdimmc_dram.a"
+  "libnvdimmc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

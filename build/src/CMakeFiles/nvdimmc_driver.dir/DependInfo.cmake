@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/dram_cache.cc" "src/CMakeFiles/nvdimmc_driver.dir/driver/dram_cache.cc.o" "gcc" "src/CMakeFiles/nvdimmc_driver.dir/driver/dram_cache.cc.o.d"
+  "/root/repo/src/driver/nvdc_driver.cc" "src/CMakeFiles/nvdimmc_driver.dir/driver/nvdc_driver.cc.o" "gcc" "src/CMakeFiles/nvdimmc_driver.dir/driver/nvdc_driver.cc.o.d"
+  "/root/repo/src/driver/nvdimmf_driver.cc" "src/CMakeFiles/nvdimmc_driver.dir/driver/nvdimmf_driver.cc.o" "gcc" "src/CMakeFiles/nvdimmc_driver.dir/driver/nvdimmf_driver.cc.o.d"
+  "/root/repo/src/driver/nvdimmn_driver.cc" "src/CMakeFiles/nvdimmc_driver.dir/driver/nvdimmn_driver.cc.o" "gcc" "src/CMakeFiles/nvdimmc_driver.dir/driver/nvdimmn_driver.cc.o.d"
+  "/root/repo/src/driver/page_table.cc" "src/CMakeFiles/nvdimmc_driver.dir/driver/page_table.cc.o" "gcc" "src/CMakeFiles/nvdimmc_driver.dir/driver/page_table.cc.o.d"
+  "/root/repo/src/driver/pmem_driver.cc" "src/CMakeFiles/nvdimmc_driver.dir/driver/pmem_driver.cc.o" "gcc" "src/CMakeFiles/nvdimmc_driver.dir/driver/pmem_driver.cc.o.d"
+  "/root/repo/src/driver/replacement_policy.cc" "src/CMakeFiles/nvdimmc_driver.dir/driver/replacement_policy.cc.o" "gcc" "src/CMakeFiles/nvdimmc_driver.dir/driver/replacement_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvdimmc_nvmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

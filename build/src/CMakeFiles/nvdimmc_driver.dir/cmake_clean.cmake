@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_driver.dir/driver/dram_cache.cc.o"
+  "CMakeFiles/nvdimmc_driver.dir/driver/dram_cache.cc.o.d"
+  "CMakeFiles/nvdimmc_driver.dir/driver/nvdc_driver.cc.o"
+  "CMakeFiles/nvdimmc_driver.dir/driver/nvdc_driver.cc.o.d"
+  "CMakeFiles/nvdimmc_driver.dir/driver/nvdimmf_driver.cc.o"
+  "CMakeFiles/nvdimmc_driver.dir/driver/nvdimmf_driver.cc.o.d"
+  "CMakeFiles/nvdimmc_driver.dir/driver/nvdimmn_driver.cc.o"
+  "CMakeFiles/nvdimmc_driver.dir/driver/nvdimmn_driver.cc.o.d"
+  "CMakeFiles/nvdimmc_driver.dir/driver/page_table.cc.o"
+  "CMakeFiles/nvdimmc_driver.dir/driver/page_table.cc.o.d"
+  "CMakeFiles/nvdimmc_driver.dir/driver/pmem_driver.cc.o"
+  "CMakeFiles/nvdimmc_driver.dir/driver/pmem_driver.cc.o.d"
+  "CMakeFiles/nvdimmc_driver.dir/driver/replacement_policy.cc.o"
+  "CMakeFiles/nvdimmc_driver.dir/driver/replacement_policy.cc.o.d"
+  "libnvdimmc_driver.a"
+  "libnvdimmc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/bad_block_manager.cc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/bad_block_manager.cc.o" "gcc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/bad_block_manager.cc.o.d"
+  "/root/repo/src/ftl/ecc.cc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/ecc.cc.o" "gcc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/ecc.cc.o.d"
+  "/root/repo/src/ftl/ftl.cc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/ftl.cc.o" "gcc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/ftl.cc.o.d"
+  "/root/repo/src/ftl/garbage_collector.cc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/garbage_collector.cc.o" "gcc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/garbage_collector.cc.o.d"
+  "/root/repo/src/ftl/mapping_table.cc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/mapping_table.cc.o" "gcc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/mapping_table.cc.o.d"
+  "/root/repo/src/ftl/wear_leveler.cc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/wear_leveler.cc.o" "gcc" "src/CMakeFiles/nvdimmc_ftl.dir/ftl/wear_leveler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvdimmc_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

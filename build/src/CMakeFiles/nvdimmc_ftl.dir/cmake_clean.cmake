@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/bad_block_manager.cc.o"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/bad_block_manager.cc.o.d"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/ecc.cc.o"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/ecc.cc.o.d"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/ftl.cc.o"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/ftl.cc.o.d"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/garbage_collector.cc.o"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/garbage_collector.cc.o.d"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/mapping_table.cc.o"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/mapping_table.cc.o.d"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/wear_leveler.cc.o"
+  "CMakeFiles/nvdimmc_ftl.dir/ftl/wear_leveler.cc.o.d"
+  "libnvdimmc_ftl.a"
+  "libnvdimmc_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imc/imc.cc" "src/CMakeFiles/nvdimmc_imc.dir/imc/imc.cc.o" "gcc" "src/CMakeFiles/nvdimmc_imc.dir/imc/imc.cc.o.d"
+  "/root/repo/src/imc/scheduler.cc" "src/CMakeFiles/nvdimmc_imc.dir/imc/scheduler.cc.o" "gcc" "src/CMakeFiles/nvdimmc_imc.dir/imc/scheduler.cc.o.d"
+  "/root/repo/src/imc/wpq.cc" "src/CMakeFiles/nvdimmc_imc.dir/imc/wpq.cc.o" "gcc" "src/CMakeFiles/nvdimmc_imc.dir/imc/wpq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvdimmc_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_imc.dir/imc/imc.cc.o"
+  "CMakeFiles/nvdimmc_imc.dir/imc/imc.cc.o.d"
+  "CMakeFiles/nvdimmc_imc.dir/imc/scheduler.cc.o"
+  "CMakeFiles/nvdimmc_imc.dir/imc/scheduler.cc.o.d"
+  "CMakeFiles/nvdimmc_imc.dir/imc/wpq.cc.o"
+  "CMakeFiles/nvdimmc_imc.dir/imc/wpq.cc.o.d"
+  "libnvdimmc_imc.a"
+  "libnvdimmc_imc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_imc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

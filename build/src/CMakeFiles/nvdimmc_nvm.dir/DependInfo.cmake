@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/delay_media.cc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/delay_media.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/delay_media.cc.o.d"
+  "/root/repo/src/nvm/nvm_media.cc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/nvm_media.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/nvm_media.cc.o.d"
+  "/root/repo/src/nvm/pram.cc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/pram.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/pram.cc.o.d"
+  "/root/repo/src/nvm/sttmram.cc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/sttmram.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/sttmram.cc.o.d"
+  "/root/repo/src/nvm/znand.cc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/znand.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvm.dir/nvm/znand.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvdimmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

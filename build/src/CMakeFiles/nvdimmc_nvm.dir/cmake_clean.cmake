@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/delay_media.cc.o"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/delay_media.cc.o.d"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/nvm_media.cc.o"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/nvm_media.cc.o.d"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/pram.cc.o"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/pram.cc.o.d"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/sttmram.cc.o"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/sttmram.cc.o.d"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/znand.cc.o"
+  "CMakeFiles/nvdimmc_nvm.dir/nvm/znand.cc.o.d"
+  "libnvdimmc_nvm.a"
+  "libnvdimmc_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

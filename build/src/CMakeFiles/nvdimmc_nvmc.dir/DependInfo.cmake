@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvmc/cp_protocol.cc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/cp_protocol.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/cp_protocol.cc.o.d"
+  "/root/repo/src/nvmc/ddr4_controller.cc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/ddr4_controller.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/ddr4_controller.cc.o.d"
+  "/root/repo/src/nvmc/deserializer.cc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/deserializer.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/deserializer.cc.o.d"
+  "/root/repo/src/nvmc/dma_engine.cc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/dma_engine.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/dma_engine.cc.o.d"
+  "/root/repo/src/nvmc/firmware.cc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/firmware.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/firmware.cc.o.d"
+  "/root/repo/src/nvmc/nvmc.cc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/nvmc.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/nvmc.cc.o.d"
+  "/root/repo/src/nvmc/refresh_detector.cc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/refresh_detector.cc.o" "gcc" "src/CMakeFiles/nvdimmc_nvmc.dir/nvmc/refresh_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nvdimmc_imc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nvdimmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

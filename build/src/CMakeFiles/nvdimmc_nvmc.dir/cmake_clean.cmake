@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/cp_protocol.cc.o"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/cp_protocol.cc.o.d"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/ddr4_controller.cc.o"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/ddr4_controller.cc.o.d"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/deserializer.cc.o"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/deserializer.cc.o.d"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/dma_engine.cc.o"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/dma_engine.cc.o.d"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/firmware.cc.o"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/firmware.cc.o.d"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/nvmc.cc.o"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/nvmc.cc.o.d"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/refresh_detector.cc.o"
+  "CMakeFiles/nvdimmc_nvmc.dir/nvmc/refresh_detector.cc.o.d"
+  "libnvdimmc_nvmc.a"
+  "libnvdimmc_nvmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_nvmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnvdimmc_nvmc.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nvdimmc_nvmc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvdimmc_workload.dir/workload/filecopy.cc.o"
+  "CMakeFiles/nvdimmc_workload.dir/workload/filecopy.cc.o.d"
+  "CMakeFiles/nvdimmc_workload.dir/workload/fio.cc.o"
+  "CMakeFiles/nvdimmc_workload.dir/workload/fio.cc.o.d"
+  "CMakeFiles/nvdimmc_workload.dir/workload/mixedload.cc.o"
+  "CMakeFiles/nvdimmc_workload.dir/workload/mixedload.cc.o.d"
+  "CMakeFiles/nvdimmc_workload.dir/workload/ssd.cc.o"
+  "CMakeFiles/nvdimmc_workload.dir/workload/ssd.cc.o.d"
+  "CMakeFiles/nvdimmc_workload.dir/workload/stream.cc.o"
+  "CMakeFiles/nvdimmc_workload.dir/workload/stream.cc.o.d"
+  "CMakeFiles/nvdimmc_workload.dir/workload/tpch.cc.o"
+  "CMakeFiles/nvdimmc_workload.dir/workload/tpch.cc.o.d"
+  "libnvdimmc_workload.a"
+  "libnvdimmc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvdimmc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

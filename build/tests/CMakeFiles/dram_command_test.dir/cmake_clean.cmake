@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_command_test.dir/dram_command_test.cc.o"
+  "CMakeFiles/dram_command_test.dir/dram_command_test.cc.o.d"
+  "dram_command_test"
+  "dram_command_test.pdb"
+  "dram_command_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_command_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_device_test.dir/dram_device_test.cc.o"
+  "CMakeFiles/dram_device_test.dir/dram_device_test.cc.o.d"
+  "dram_device_test"
+  "dram_device_test.pdb"
+  "dram_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

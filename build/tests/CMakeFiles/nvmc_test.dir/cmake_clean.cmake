@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmc_test.dir/nvmc_test.cc.o"
+  "CMakeFiles/nvmc_test.dir/nvmc_test.cc.o.d"
+  "nvmc_test"
+  "nvmc_test.pdb"
+  "nvmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

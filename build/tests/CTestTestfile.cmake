@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dram_command_test[1]_include.cmake")
+include("/root/repo/build/tests/dram_device_test[1]_include.cmake")
+include("/root/repo/build/tests/bus_test[1]_include.cmake")
+include("/root/repo/build/tests/imc_test[1]_include.cmake")
+include("/root/repo/build/tests/nvm_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/nvmc_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
