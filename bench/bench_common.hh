@@ -3,11 +3,11 @@
  * Shared scaffolding for the paper-reproduction benches.
  *
  * Every bench binary regenerates one table/figure from the paper's
- * evaluation (§VII) on the scaled bench configuration (512 MiB DRAM
- * cache fronting ~3.75 GiB of exposed Z-NAND; all timing parameters —
- * tRFC 1250 ns, tREFI 7.8 us, DDR4-1600 — are the paper's). Counters
- * named "paper_*" carry the paper's reported value for side-by-side
- * comparison; see EXPERIMENTS.md for the discussion.
+ * evaluation (§VII) on the scaled bench configuration. Counters named
+ * "paper_*" carry the paper's reported value for side-by-side
+ * comparison; see EXPERIMENTS.md for the discussion. System-building
+ * helpers live in bench_systems.hh (benchmark-harness-free, also used
+ * by the sweep runner).
  */
 
 #ifndef NVDIMMC_BENCH_BENCH_COMMON_HH
@@ -15,101 +15,10 @@
 
 #include <benchmark/benchmark.h>
 
-#include <functional>
-#include <memory>
-
-#include "core/system.hh"
-#include "workload/fio.hh"
+#include "bench_systems.hh"
 
 namespace nvdimmc::bench
 {
-
-/** Device access function over an NVDIMM-C system (timing-only). */
-inline workload::AccessFn
-nvdcAccess(core::NvdimmcSystem& sys)
-{
-    return [&sys](Addr off, std::uint32_t len, bool is_write,
-                  std::function<void()> done) {
-        if (is_write)
-            sys.driver().write(off, len, nullptr, std::move(done));
-        else
-            sys.driver().read(off, len, nullptr, std::move(done));
-    };
-}
-
-/** Device access function over the baseline pmem system. */
-inline workload::AccessFn
-pmemAccess(core::BaselineSystem& sys)
-{
-    return [&sys](Addr off, std::uint32_t len, bool is_write,
-                  std::function<void()> done) {
-        if (is_write)
-            sys.driver().write(off, len, nullptr, std::move(done));
-        else
-            sys.driver().read(off, len, nullptr, std::move(done));
-    };
-}
-
-/**
- * Build an NVDIMM-C system whose cache is pre-populated so the given
- * region is entirely *cached* (PTEs valid); FIO over it measures the
- * NVDC-Cached series.
- */
-inline std::unique_ptr<core::NvdimmcSystem>
-makeCachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
-{
-    core::SystemConfig cfg = core::SystemConfig::scaledBench();
-    if (tweak)
-        tweak(cfg);
-    auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
-    std::uint32_t slots = sys->layout().slotCount();
-    sys->precondition(0, slots - 64, true);
-    return sys;
-}
-
-/** Usable cached-region size for a system from makeCachedSystem(). */
-inline std::uint64_t
-cachedRegionBytes(core::NvdimmcSystem& sys)
-{
-    return std::uint64_t{sys.layout().slotCount() - 64} * 4096;
-}
-
-/**
- * Build an NVDIMM-C system whose cache is full of dirty pages from a
- * low region; FIO over the remaining device space is all-miss
- * (writeback + cachefill per access): the NVDC-Uncached series.
- */
-inline std::unique_ptr<core::NvdimmcSystem>
-makeUncachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
-{
-    core::SystemConfig cfg = core::SystemConfig::scaledBench();
-    if (tweak)
-        tweak(cfg);
-    auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
-    sys->precondition(0, sys->layout().slotCount(), true);
-    // The paper's uncached experiments run on a device whose blocks
-    // all hold data (FIO preconditions the file), so every fill is a
-    // real NAND cachefill.
-    sys->driver().markEverWritten(0, sys->backend().pageCount());
-    return sys;
-}
-
-/** Region descriptor for FIO against an uncached system. */
-inline std::pair<Addr, std::uint64_t>
-uncachedRegion(core::NvdimmcSystem& sys)
-{
-    Addr base = std::uint64_t{sys.layout().slotCount() + 128} * 4096;
-    return {base, sys.driver().capacityBytes() - base};
-}
-
-/** Run one FIO measurement point. */
-inline workload::FioResult
-runFio(EventQueue& eq, const workload::AccessFn& fn,
-       workload::FioConfig cfg)
-{
-    workload::FioJob job(eq, fn, cfg);
-    return job.run();
-}
 
 /** Attach measured-vs-paper counters to a benchmark state. */
 inline void

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Parallel sweep runner: runs the points of the config-sweep benches
+ * (ablation, variants, cache_policy) as independent simulations
+ * spread across a thread pool.
+ *
+ * Each point builds its own EventQueue and system, so simulations
+ * share no mutable state and the results are byte-identical to a
+ * serial run regardless of --jobs; `--verify` proves that by running
+ * the sweep twice (serial, then parallel) and comparing the formatted
+ * results.
+ *
+ * Usage:
+ *   sweep_runner [--sweep ablation|variants|cache_policy|all]
+ *                [--jobs N] [--json FILE] [--verify] [--list]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_systems.hh"
+#include "driver/dram_cache.hh"
+#include "driver/nvdimmf_driver.hh"
+#include "ftl/ftl.hh"
+#include "workload/tpch.hh"
+
+namespace nvdimmc::bench
+{
+namespace
+{
+
+using workload::FioConfig;
+
+/** One sweep point's outcome: named metrics plus host wall time. */
+struct PointResult
+{
+    std::vector<std::pair<std::string, double>> metrics;
+    std::string error;
+    double wallMs = 0.0;
+};
+
+struct SweepPoint
+{
+    std::string name;
+    std::function<PointResult()> run;
+};
+
+struct Sweep
+{
+    std::string name;
+    std::vector<SweepPoint> points;
+};
+
+PointResult
+fioPoint(const workload::FioResult& res)
+{
+    PointResult out;
+    out.metrics = {{"MBps", res.mbps},
+                   {"KIOPS", res.kiops},
+                   {"lat_us", ticksToUs(res.meanLatency)},
+                   {"ops", static_cast<double>(res.ops)}};
+    return out;
+}
+
+/** The uncached 4 KB random-read point bench_ablation sweeps. */
+PointResult
+runUncachedPoint(std::function<void(core::SystemConfig&)> tweak,
+                 unsigned threads = 1)
+{
+    auto sys = makeUncachedSystem(std::move(tweak));
+    FioConfig cfg;
+    cfg.pattern = FioConfig::Pattern::RandRead;
+    cfg.blockSize = 4096;
+    cfg.threads = threads;
+    auto [base, bytes] = uncachedRegion(*sys);
+    cfg.regionOffset = base;
+    cfg.regionBytes = bytes;
+    cfg.rampTime = 5 * kMs;
+    cfg.runTime = 120 * kMs;
+    return fioPoint(runFio(sys->eq(), nvdcAccess(*sys), cfg));
+}
+
+Sweep
+makeAblationSweep()
+{
+    Sweep sweep{"ablation", {}};
+    auto& p = sweep.points;
+    p.push_back({"poc", [] { return runUncachedPoint({}); }});
+    p.push_back({"asic_firmware", [] {
+        return runUncachedPoint([](core::SystemConfig& c) {
+            c.nvmc.firmware = nvmc::FirmwareConfig::asic();
+        });
+    }});
+    for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+        p.push_back({"cp_depth/" + std::to_string(depth), [depth] {
+            return runUncachedPoint(
+                [depth](core::SystemConfig& c) {
+                    c.driver.cpQueueDepth = depth;
+                    c.nvmc.firmware.cpQueueDepth = depth;
+                },
+                /*threads=*/4);
+        }});
+    }
+    p.push_back({"window_8k", [] {
+        return runUncachedPoint([](core::SystemConfig& c) {
+            c.nvmc.bytesPerWindow = 8192;
+        });
+    }});
+    p.push_back({"merged_command", [] {
+        return runUncachedPoint([](core::SystemConfig& c) {
+            c.driver.mergedWbCf = true;
+        });
+    }});
+    p.push_back({"stt_mram", [] {
+        return runUncachedPoint([](core::SystemConfig& c) {
+            c.media = core::MediaKind::SttMram;
+            c.mediaBytes = 4 * kGiB;
+        });
+    }});
+    p.push_back({"dirty_tracking", [] {
+        core::SystemConfig cfg = core::SystemConfig::scaledBench();
+        cfg.driver.trackDirty = true;
+        core::NvdimmcSystem sys(cfg);
+        sys.precondition(0, sys.layout().slotCount(), false);
+        FioConfig fio;
+        fio.pattern = FioConfig::Pattern::RandRead;
+        fio.blockSize = 4096;
+        fio.threads = 1;
+        auto [base, bytes] = uncachedRegion(sys);
+        fio.regionOffset = base;
+        fio.regionBytes = bytes;
+        fio.rampTime = 5 * kMs;
+        fio.runTime = 120 * kMs;
+        return fioPoint(runFio(sys.eq(), nvdcAccess(sys), fio));
+    }});
+    for (bool enabled : {false, true}) {
+        p.push_back({std::string("prefetch/") +
+                         (enabled ? "on" : "off"),
+                     [enabled] {
+            auto sys =
+                makeUncachedSystem([&](core::SystemConfig& c) {
+                    c.driver.trackDirty = true;
+                    c.driver.prefetchEnabled = enabled;
+                    c.driver.prefetchDepth = 2;
+                    c.driver.cpQueueDepth = 4;
+                    c.nvmc.firmware.cpQueueDepth = 4;
+                });
+            FioConfig cfg;
+            cfg.pattern = FioConfig::Pattern::SeqRead;
+            cfg.blockSize = 4096;
+            cfg.threads = 1;
+            auto [base, bytes] = uncachedRegion(*sys);
+            cfg.regionOffset = base;
+            cfg.regionBytes = bytes;
+            cfg.rampTime = 5 * kMs;
+            cfg.runTime = 120 * kMs;
+            return fioPoint(
+                runFio(sys->eq(), nvdcAccess(*sys), cfg));
+        }});
+    }
+    p.push_back({"everything", [] {
+        return runUncachedPoint(
+            [](core::SystemConfig& c) {
+                c.nvmc.firmware = nvmc::FirmwareConfig::asic();
+                c.nvmc.firmware.cpQueueDepth = 4;
+                c.driver.cpQueueDepth = 4;
+                c.nvmc.bytesPerWindow = 8192;
+                c.driver.mergedWbCf = true;
+                c.media = core::MediaKind::SttMram;
+                c.mediaBytes = 4 * kGiB;
+            },
+            /*threads=*/4);
+    }});
+    return sweep;
+}
+
+PointResult
+runNvdimmFPoint(FioConfig::Pattern pattern)
+{
+    EventQueue eq;
+    dram::AddressMap map(512 * kMiB);
+    core::SystemConfig scfg = core::SystemConfig::scaledBench();
+    auto nand = std::make_unique<nvm::ZNand>(eq, scfg.znand);
+    auto ftl = std::make_unique<ftl::Ftl>(eq, *nand, scfg.ftl);
+    ftl->preconditionSequentialFill(2 * kGiB / 4096);
+
+    dram::DramDevice ch_dev(map, dram::Ddr4Timing::ddr4_1600(), false,
+                            false);
+    bus::MemoryBus bus(eq, ch_dev, false);
+    imc::ImcConfig icfg;
+    icfg.refresh = dram::RefreshRegisters::standard();
+    imc::Imc imc(eq, bus, icfg);
+
+    driver::NvdimmFDriver drv(eq, *ftl, imc, driver::NvdimmFConfig{});
+
+    FioConfig cfg;
+    cfg.pattern = pattern;
+    cfg.blockSize = 4096;
+    cfg.threads = 1;
+    cfg.regionBytes = 2 * kGiB;
+    cfg.rampTime = 5 * kMs;
+    cfg.runTime = 100 * kMs;
+    workload::FioJob job(
+        eq,
+        [&drv](Addr off, std::uint32_t len, bool is_write,
+               std::function<void()> done) {
+            if (is_write)
+                drv.write(off, len, nullptr, std::move(done));
+            else
+                drv.read(off, len, nullptr, std::move(done));
+        },
+        cfg);
+    return fioPoint(job.run());
+}
+
+PointResult
+runNvdcCachedPoint(FioConfig::Pattern pattern)
+{
+    auto sys = makeCachedSystem();
+    FioConfig cfg;
+    cfg.pattern = pattern;
+    cfg.blockSize = 4096;
+    cfg.threads = 1;
+    cfg.regionBytes = cachedRegionBytes(*sys);
+    cfg.rampTime = 2 * kMs;
+    cfg.runTime = 25 * kMs;
+    return fioPoint(runFio(sys->eq(), nvdcAccess(*sys), cfg));
+}
+
+Sweep
+makeVariantsSweep()
+{
+    Sweep sweep{"variants", {}};
+    sweep.points.push_back({"nvdimmf/rand_read", [] {
+        return runNvdimmFPoint(FioConfig::Pattern::RandRead);
+    }});
+    sweep.points.push_back({"nvdimmf/rand_write", [] {
+        return runNvdimmFPoint(FioConfig::Pattern::RandWrite);
+    }});
+    sweep.points.push_back({"nvdc_cached/rand_read", [] {
+        return runNvdcCachedPoint(FioConfig::Pattern::RandRead);
+    }});
+    sweep.points.push_back({"nvdc_cached/rand_write", [] {
+        return runNvdcCachedPoint(FioConfig::Pattern::RandWrite);
+    }});
+    return sweep;
+}
+
+Sweep
+makeCachePolicySweep()
+{
+    constexpr std::uint64_t kDbPages = 65536;
+    Sweep sweep{"cache_policy", {}};
+    for (const char* policy : {"lru", "lrc", "clock", "random"}) {
+        for (std::uint32_t pct : {1u, 2u, 4u, 8u, 16u}) {
+            std::string name =
+                std::string(policy) + "/" + std::to_string(pct);
+            sweep.points.push_back({name, [policy, pct] {
+                auto slots =
+                    static_cast<std::uint32_t>(kDbPages * pct / 100);
+                driver::DramCache cache(
+                    slots, driver::ReplacementPolicy::create(policy));
+                const auto& specs = workload::tpchQuerySpecs();
+                for (int qidx : {0, 4, 8, 16, 19, 20}) {
+                    workload::replayTpchOnCache(
+                        cache,
+                        specs[static_cast<std::size_t>(qidx)],
+                        kDbPages, 60000, 11);
+                }
+                PointResult res;
+                res.metrics.emplace_back(
+                    "hit_rate_pct", cache.stats().hitRate() * 100.0);
+                return res;
+            }});
+        }
+    }
+    return sweep;
+}
+
+/**
+ * Run every point of @p sweep on @p jobs worker threads. Points are
+ * claimed from an atomic counter and results land in a slot indexed
+ * by point, so the output order (and content) never depends on
+ * scheduling.
+ */
+std::vector<PointResult>
+runSweep(const Sweep& sweep, unsigned jobs)
+{
+    std::vector<PointResult> results(sweep.points.size());
+    std::atomic<std::size_t> next{0};
+
+    auto work = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= sweep.points.size())
+                return;
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                results[i] = sweep.points[i].run();
+            } catch (const std::exception& e) {
+                results[i].error = e.what();
+            }
+            results[i].wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+        }
+    };
+
+    if (jobs <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(work);
+        for (auto& th : pool)
+            th.join();
+    }
+    return results;
+}
+
+/** Deterministic text form of one point (wall time excluded). */
+std::string
+formatPoint(const SweepPoint& point, const PointResult& res)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << point.name << ":";
+    if (!res.error.empty()) {
+        os << " ERROR " << res.error;
+        return os.str();
+    }
+    for (const auto& [key, value] : res.metrics)
+        os << " " << key << "=" << value;
+    return os.str();
+}
+
+void
+writeJson(std::ostream& os,
+          const std::vector<std::pair<const Sweep*,
+                                      std::vector<PointResult>>>& all,
+          unsigned jobs)
+{
+    os.precision(17);
+    os << "{\n  \"jobs\": " << jobs << ",\n  \"sweeps\": [\n";
+    for (std::size_t s = 0; s < all.size(); ++s) {
+        const auto& [sweep, results] = all[s];
+        os << "    {\"name\": \"" << sweep->name
+           << "\", \"points\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            os << "      {\"name\": \"" << sweep->points[i].name
+               << "\", \"wall_ms\": " << results[i].wallMs;
+            if (!results[i].error.empty()) {
+                os << ", \"error\": \"" << results[i].error << "\"";
+            } else {
+                for (const auto& [key, value] : results[i].metrics)
+                    os << ", \"" << key << "\": " << value;
+            }
+            os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        os << "    ]}" << (s + 1 < all.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+int
+sweepMain(int argc, char** argv)
+{
+    std::vector<std::string> wanted;
+    unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
+    std::string json_path;
+    bool verify = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--sweep") {
+            wanted.push_back(value());
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::stoul(value()));
+            if (jobs == 0)
+                jobs = 1;
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (arg == "--list") {
+            for (const Sweep& sweep :
+                 {makeAblationSweep(), makeVariantsSweep(),
+                  makeCachePolicySweep()}) {
+                for (const auto& point : sweep.points)
+                    std::cout << sweep.name << "/" << point.name
+                              << "\n";
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: sweep_runner"
+                   " [--sweep ablation|variants|cache_policy|all]\n"
+                   "                    [--jobs N] [--json FILE]"
+                   " [--verify] [--list]\n";
+            return 0;
+        } else {
+            fatal("unknown argument ", arg);
+        }
+    }
+    if (wanted.empty())
+        wanted.push_back("all");
+
+    std::vector<Sweep> sweeps;
+    auto want = [&](const char* name) {
+        for (const auto& w : wanted)
+            if (w == "all" || w == name)
+                return true;
+        return false;
+    };
+    if (want("ablation"))
+        sweeps.push_back(makeAblationSweep());
+    if (want("variants"))
+        sweeps.push_back(makeVariantsSweep());
+    if (want("cache_policy"))
+        sweeps.push_back(makeCachePolicySweep());
+    if (sweeps.empty())
+        fatal("no sweep matches ", wanted.front());
+
+    // Device models warn about injected hazards on some points;
+    // keep worker output off the console.
+    setLogLevel(LogLevel::Silent);
+
+    int rc = 0;
+    std::vector<std::pair<const Sweep*, std::vector<PointResult>>> all;
+    for (const Sweep& sweep : sweeps) {
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<PointResult> results = runSweep(sweep, jobs);
+        double wall = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+        if (verify) {
+            std::vector<PointResult> serial = runSweep(sweep, 1);
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                std::string par =
+                    formatPoint(sweep.points[i], results[i]);
+                std::string ser =
+                    formatPoint(sweep.points[i], serial[i]);
+                if (par != ser) {
+                    std::cerr << "VERIFY MISMATCH in " << sweep.name
+                              << ":\n  parallel: " << par
+                              << "\n  serial:   " << ser << "\n";
+                    rc = 1;
+                }
+            }
+            if (rc == 0)
+                std::cout << "verify " << sweep.name << ": parallel("
+                          << jobs << ") == serial, "
+                          << results.size() << " points\n";
+        }
+
+        std::cout << "== " << sweep.name << " (" << results.size()
+                  << " points, jobs=" << jobs << ", "
+                  << static_cast<std::uint64_t>(wall) << " ms) ==\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            std::cout << "  " << formatPoint(sweep.points[i],
+                                             results[i])
+                      << "\n";
+            if (!results[i].error.empty())
+                rc = 1;
+        }
+        all.emplace_back(&sweep, std::move(results));
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            fatal("cannot write ", json_path);
+        writeJson(out, all, jobs);
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return rc;
+}
+
+} // namespace
+} // namespace nvdimmc::bench
+
+int
+main(int argc, char** argv)
+{
+    try {
+        return nvdimmc::bench::sweepMain(argc, argv);
+    } catch (const std::exception& e) {
+        std::cerr << "sweep_runner: " << e.what() << "\n";
+        return 1;
+    }
+}

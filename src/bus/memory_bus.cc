@@ -73,14 +73,25 @@ MemoryBus::issueCommand(int master, const dram::Ddr4Command& cmd)
 }
 
 void
+MemoryBus::ClaimRing::grow()
+{
+    std::vector<DqClaim> next(buf_.empty() ? 16 : buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i)
+        next[i] = at(i);
+    buf_ = std::move(next);
+    head_ = 0;
+}
+
+void
 MemoryBus::claimDq(int master, Tick start, Tick end)
 {
     const Tick now = eq_.now();
-    // Prune claims that ended long ago; only overlaps matter.
-    while (!dqClaims_.empty() && dqClaims_.front().end + kUs < now)
-        dqClaims_.pop_front();
+    // A new claim never starts before now, so claims whose burst has
+    // already closed can no longer overlap anything: drop them.
+    dqClaims_.pruneBefore(now);
 
-    for (const auto& claim : dqClaims_) {
+    for (std::size_t i = 0; i < dqClaims_.size(); ++i) {
+        const DqClaim& claim = dqClaims_.at(i);
         if (claim.master == master)
             continue;
         if (start < claim.end && claim.start < end) {
@@ -92,7 +103,7 @@ MemoryBus::claimDq(int master, Tick start, Tick end)
             recordConflict(now, os.str(), master, claim.master);
         }
     }
-    dqClaims_.push_back({master, start, end});
+    dqClaims_.push({master, start, end});
 }
 
 } // namespace nvdimmc::bus

@@ -20,8 +20,8 @@
 #ifndef NVDIMMC_BUS_MEMORY_BUS_HH
 #define NVDIMMC_BUS_MEMORY_BUS_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -110,6 +110,51 @@ class MemoryBus
         Tick end;
     };
 
+    /**
+     * Time-pruned ring of outstanding DQ claims. Claims arrive in
+     * claim-time order and die as soon as their burst window closes
+     * (a new claim never starts before now, so an expired claim can
+     * no longer overlap anything). The ring holds only the handful of
+     * in-flight bursts, so the overlap scan in claimDq() is O(live)
+     * instead of O(recent-history) — this is the bus's hottest path.
+     */
+    class ClaimRing
+    {
+      public:
+        void
+        pruneBefore(Tick now)
+        {
+            while (count_ > 0 && buf_[head_].end <= now) {
+                head_ = (head_ + 1) & (buf_.size() - 1);
+                --count_;
+            }
+        }
+
+        void
+        push(const DqClaim& claim)
+        {
+            if (count_ == buf_.size())
+                grow();
+            buf_[(head_ + count_) & (buf_.size() - 1)] = claim;
+            ++count_;
+        }
+
+        std::size_t size() const { return count_; }
+
+        const DqClaim&
+        at(std::size_t i) const
+        {
+            return buf_[(head_ + i) & (buf_.size() - 1)];
+        }
+
+      private:
+        void grow();
+
+        std::vector<DqClaim> buf_; ///< Power-of-two capacity.
+        std::size_t head_ = 0;
+        std::size_t count_ = 0;
+    };
+
     void recordConflict(Tick now, std::string what, int a, int b);
 
     EventQueue& eq_;
@@ -124,7 +169,7 @@ class MemoryBus
     Tick caBusyUntil_ = 0;
     int caOwner_ = -1;
 
-    std::deque<DqClaim> dqClaims_;
+    ClaimRing dqClaims_;
     std::vector<BusConflict> conflicts_;
 };
 

@@ -1,66 +1,56 @@
 #include "common/event_queue.hh"
 
-#include <utility>
+#include <algorithm>
 
 #include "common/logging.hh"
 
 namespace nvdimmc
 {
 
-EventId
-EventQueue::schedule(Tick when, Callback cb)
+void
+EventQueue::schedule(Event& ev, Tick when)
 {
     if (when < now_) {
         panic("EventQueue: scheduling at tick ", when,
               " which is before now ", now_);
     }
-    EventId id = nextId_++;
-    queue_.push(Entry{when, id, std::move(cb)});
-    pendingIds_.insert(id);
-    return id;
-}
-
-EventId
-EventQueue::scheduleAfter(Tick delay, Callback cb)
-{
-    return schedule(now_ + delay, std::move(cb));
-}
-
-void
-EventQueue::cancel(EventId id)
-{
-    // Lazy deletion: the queue entry is dropped when it surfaces.
-    pendingIds_.erase(id);
+    if (ev.sched_) {
+        panic("EventQueue: '", ev.name(), "' is already scheduled for ",
+              ev.when_, "; use reschedule()");
+    }
+    ev.when_ = when;
+    ev.seq_ = nextSeq_++;
+    ev.sched_ = true;
+    heap_.push_back(HeapEntry{when, ev.seq_, &ev});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++livePending_;
 }
 
 void
 EventQueue::skipDead()
 {
-    while (!queue_.empty() && pendingIds_.count(queue_.top().id) == 0)
-        queue_.pop();
+    while (!heap_.empty() && !live(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();
+    }
 }
 
 bool
 EventQueue::fireNext()
 {
     skipDead();
-    if (queue_.empty())
+    if (heap_.empty())
         return false;
-    Entry top = queue_.top();
-    queue_.pop();
+    HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     NVDC_ASSERT(top.when >= now_, "event in the past");
     now_ = top.when;
-    pendingIds_.erase(top.id);
+    top.ev->sched_ = false;
+    --livePending_;
     ++fired_;
-    if (top.cb)
-        top.cb();
+    top.ev->process();
     return true;
-}
-
-bool
-EventQueue::runOne()
-{
-    return fireNext();
 }
 
 void
@@ -69,7 +59,7 @@ EventQueue::runUntil(Tick when)
     NVDC_ASSERT(when >= now_, "runUntil into the past");
     for (;;) {
         skipDead();
-        if (queue_.empty() || queue_.top().when > when)
+        if (heap_.empty() || heap_.front().when > when)
             break;
         fireNext();
     }
@@ -83,6 +73,67 @@ EventQueue::runAll(std::uint64_t max_events)
     while (n < max_events && fireNext())
         ++n;
     return n;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    CallbackEvent* ce = lookupCallback(id);
+    if (!ce)
+        return;
+    deschedule(*ce);
+    // Release the captured state now rather than when the stale heap
+    // record surfaces; the slot's generation bump retires the id.
+    recycleCallback(*ce);
+}
+
+EventQueue::CallbackEvent&
+EventQueue::allocCallback()
+{
+    if (freeSlots_.empty()) {
+        auto slot = static_cast<std::uint32_t>(pool_.size());
+        pool_.push_back(std::make_unique<CallbackEvent>(*this, slot));
+        freeSlots_.push_back(slot);
+    }
+    std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    return *pool_[slot];
+}
+
+void
+EventQueue::recycleCallback(CallbackEvent& ce)
+{
+    if (ce.destroy_)
+        ce.destroy_(ce);
+    ce.call_ = nullptr;
+    ce.destroy_ = nullptr;
+    ++ce.gen_;
+    freeSlots_.push_back(ce.slot_);
+}
+
+const EventQueue::CallbackEvent*
+EventQueue::lookupCallback(EventId id) const
+{
+    EventId hi = id >> 32;
+    if (hi == 0 || hi > pool_.size())
+        return nullptr;
+    const CallbackEvent* ce = pool_[hi - 1].get();
+    if (ce->gen_ != static_cast<std::uint32_t>(id) || !ce->scheduled())
+        return nullptr;
+    return ce;
+}
+
+void
+EventQueue::CallbackEvent::process()
+{
+    // Recycle even if the callable throws (a panic propagating out of
+    // a test); the stale heap record is skipped by the generation.
+    struct Recycle
+    {
+        CallbackEvent& ce;
+        ~Recycle() { ce.owner_.recycleCallback(ce); }
+    } guard{*this};
+    call_(*this);
 }
 
 } // namespace nvdimmc

@@ -6,7 +6,8 @@ namespace nvdimmc::cpu
 {
 
 WorkerThread::WorkerThread(EventQueue& eq, std::string name, OpFn op)
-    : eq_(eq), name_(std::move(name)), op_(std::move(op))
+    : eq_(eq), name_(std::move(name)), op_(std::move(op)),
+      nextOpEvent_([this] { runOne(); }, "worker-next-op")
 {
 }
 
@@ -16,7 +17,7 @@ WorkerThread::start()
     NVDC_ASSERT(!running_, "WorkerThread started twice");
     running_ = true;
     stopping_ = false;
-    eq_.scheduleAfter(0, [this] { runOne(); });
+    eq_.scheduleAfter(nextOpEvent_, 0);
 }
 
 void
@@ -34,7 +35,7 @@ WorkerThread::runOne()
             running_ = false;
             return;
         }
-        eq_.scheduleAfter(0, [this] { runOne(); });
+        eq_.scheduleAfter(nextOpEvent_, 0);
     });
 }
 

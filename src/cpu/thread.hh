@@ -58,6 +58,8 @@ class WorkerThread
     EventQueue& eq_;
     std::string name_;
     OpFn op_;
+    /** The closed loop's single outstanding "issue next op" event. */
+    EventFunctionWrapper nextOpEvent_;
     bool running_ = false;
     bool stopping_ = false;
     Tick opStart_ = 0;

@@ -501,18 +501,26 @@ NvdcDriver::prefetchFill(std::uint64_t page)
 void
 NvdcDriver::flushSlotLines(std::uint32_t slot, Callback done)
 {
-    Addr base = layout_.slotAddr(slot);
-    auto step = std::make_shared<std::function<void(std::uint32_t)>>();
-    *step = [this, base, done = std::move(done),
-             step](std::uint32_t line) {
-        if (line >= kPageBytes / 64) {
-            done();
-            return;
-        }
-        cacheModel_.clflush(base + std::uint64_t{line} * 64,
-                            [step, line] { (*step)(line + 1); });
-    };
-    (*step)(0);
+    flushLinesFrom(layout_.slotAddr(slot), 0, std::move(done));
+}
+
+void
+NvdcDriver::flushLinesFrom(Addr base, std::uint32_t line,
+                           Callback done)
+{
+    if (line >= kPageBytes / 64) {
+        done();
+        return;
+    }
+    // Each clflush continuation owns the rest of the chain, so the
+    // chain's storage dies with its last link (no self-referencing
+    // shared state).
+    cacheModel_.clflush(base + std::uint64_t{line} * 64,
+                        [this, base, line,
+                         done = std::move(done)]() mutable {
+                            flushLinesFrom(base, line + 1,
+                                           std::move(done));
+                        });
 }
 
 void

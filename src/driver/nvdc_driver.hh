@@ -215,6 +215,7 @@ class NvdcDriver
 
     /** Flush (or invalidate) every line of a slot, chained. */
     void flushSlotLines(std::uint32_t slot, Callback done);
+    void flushLinesFrom(Addr base, std::uint32_t line, Callback done);
     void invalidateSlotLines(std::uint32_t slot, Callback done);
 
     /** Write the metadata line covering @p slot into DRAM. */

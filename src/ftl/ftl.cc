@@ -30,7 +30,8 @@ Ftl::Ftl(EventQueue& eq, nvm::ZNand& nand, const FtlConfig& cfg)
       blocks_(nand.params().totalBlocks()),
       activeBlocks_(std::size_t{nand.params().channels} *
                         nand.params().diesPerChannel,
-                    kUnmapped)
+                    kUnmapped),
+      gcStepEvent_([this] { gcStep(); }, "ftl-gc-step")
 {
     NVDC_ASSERT(cfg.gcLowWaterBlocks < cfg.gcHighWaterBlocks,
                 "GC watermarks inverted");
@@ -294,7 +295,7 @@ Ftl::maybeStartGc()
     gcActive_ = true;
     gcPageCursor_ = 0;
     stats_.gcRuns.inc();
-    eq_.scheduleAfter(0, [this] { gcStep(); });
+    eq_.scheduleAfter(gcStepEvent_, 0);
 }
 
 void
@@ -353,7 +354,7 @@ Ftl::gcStep()
             if (victim) {
                 gcVictim_ = *victim;
                 gcPageCursor_ = 0;
-                eq_.scheduleAfter(0, [this] { gcStep(); });
+                eq_.scheduleAfter(gcStepEvent_, 0);
                 return;
             }
         }

@@ -139,6 +139,10 @@ class Ftl : public nvm::PageBackend
     std::vector<std::uint64_t> activeBlocks_;
     std::size_t nextDieSlot_ = 0;
 
+    /** GC's single outstanding continuation (one relocation at a
+     *  time), scheduled in place. */
+    EventFunctionWrapper gcStepEvent_;
+
     bool gcActive_ = false;
     std::uint64_t gcVictim_ = 0;
     std::uint32_t gcPageCursor_ = 0;

@@ -16,7 +16,8 @@ Imc::Imc(EventQueue& eq, bus::MemoryBus& bus, const ImcConfig& cfg)
       shadow_(bus.dram().addressMap(), bus.dram().timing()),
       wpq_(cfg.wpqCap, cfg.wpqWatermark),
       nextRefreshDue_(cfg.refresh.tREFI),
-      baseRefresh_(cfg.refresh)
+      baseRefresh_(cfg.refresh),
+      wakeEvent_([this] { tick(); }, "imc-wake")
 {
     NVDC_ASSERT(cfg.wpqWatermark <= cfg.wpqCap, "bad WPQ watermark");
     // Refresh must run even while the host is idle: the NVDIMM-C
@@ -66,17 +67,9 @@ Imc::wake(Tick at)
 {
     if (at < eq_.now())
         at = eq_.now();
-    if (wakeAt_ != kTickNever && wakeAt_ <= at &&
-        eq_.isPending(wakeId_)) {
+    if (wakeEvent_.scheduled() && wakeEvent_.when() <= at)
         return; // An earlier-or-equal wakeup is already scheduled.
-    }
-    if (wakeAt_ != kTickNever && eq_.isPending(wakeId_))
-        eq_.cancel(wakeId_);
-    wakeAt_ = at;
-    wakeId_ = eq_.schedule(at, [this] {
-        wakeAt_ = kTickNever;
-        tick();
-    });
+    eq_.reschedule(wakeEvent_, at);
 }
 
 bool

@@ -198,8 +198,9 @@ class Imc
     Tick lastActivityAt_ = 0;
     Tick srExitReadyAt_ = 0;
 
-    EventId wakeId_ = 0;
-    Tick wakeAt_ = kTickNever;
+    /** Single self-rescheduled wakeup driving tick(); intrusive, so
+     *  moving it never allocates. */
+    EventFunctionWrapper wakeEvent_;
 
     /** Bulk-model channel occupancy horizon. */
     Tick bulkBusyUntil_ = 0;

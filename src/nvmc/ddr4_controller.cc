@@ -15,7 +15,8 @@ NvmcDdr4Controller::NvmcDdr4Controller(EventQueue& eq,
     : eq_(eq),
       bus_(bus),
       masterId_(bus.registerMaster("nvmc")),
-      shadow_(bus.dram().addressMap(), bus.dram().timing())
+      shadow_(bus.dram().addressMap(), bus.dram().timing()),
+      stepEvent_([this] { step(); }, "nvmc-ctrl-step")
 {
 }
 
@@ -66,7 +67,7 @@ NvmcDdr4Controller::transferInWindow(Addr addr, std::uint32_t bytes,
     stats_.transfers.inc();
 
     Tick start = std::max(win_start, eq_.now());
-    eq_.schedule(start, [this] { step(); });
+    eq_.schedule(stepEvent_, start);
 }
 
 void
@@ -97,7 +98,7 @@ NvmcDdr4Controller::step()
             return;
         }
         if (ready > now) {
-            eq_.schedule(ready, [this] { step(); });
+            eq_.schedule(stepEvent_, ready);
             return;
         }
         // Recompute the open bank's coordinates from its flat index.
@@ -108,7 +109,7 @@ NvmcDdr4Controller::step()
         bus_.issueCommand(masterId_, {Ddr4Op::Precharge, bg, ba, 0, 0});
         shadow_.onPrecharge(ob, now);
         openBank_ = -1;
-        eq_.schedule(now + t.tCK, [this] { step(); });
+        eq_.schedule(stepEvent_, now + t.tCK);
         return;
     }
 
@@ -121,14 +122,14 @@ NvmcDdr4Controller::step()
             return;
         }
         if (ready > now) {
-            eq_.schedule(ready, [this] { step(); });
+            eq_.schedule(stepEvent_, ready);
             return;
         }
         bus_.issueCommand(masterId_, {Ddr4Op::Activate, c.bankGroup,
                                       c.bank, c.row, 0});
         shadow_.onActivate(fb, c.bankGroup, c.row, now);
         openBank_ = static_cast<std::int32_t>(fb);
-        eq_.schedule(now + t.tRCD, [this] { step(); });
+        eq_.schedule(stepEvent_, now + t.tRCD);
         return;
     }
 
@@ -140,7 +141,7 @@ NvmcDdr4Controller::step()
         return;
     }
     if (ready > now) {
-        eq_.schedule(ready, [this] { step(); });
+        eq_.schedule(stepEvent_, ready);
         return;
     }
 
@@ -163,7 +164,7 @@ NvmcDdr4Controller::step()
     bytesDone_ += AddressMap::kBurstBytes;
     bytesLeft_ -= AddressMap::kBurstBytes;
 
-    eq_.schedule(now + t.tCCD_L, [this] { step(); });
+    eq_.schedule(stepEvent_, now + t.tCCD_L);
 }
 
 void

@@ -79,6 +79,10 @@ class NvmcDdr4Controller
     int masterId_;
     imc::TimingShadow shadow_;
 
+    /** The transfer pipeline's single outstanding step; intrusive so
+     *  the per-command reschedule never allocates. */
+    EventFunctionWrapper stepEvent_;
+
     bool active_ = false;
     Addr addr_ = 0;
     std::uint32_t bytesLeft_ = 0;

@@ -36,8 +36,9 @@ DmaEngine::runWindow(Tick win_start, Tick win_end,
     windowDone_ = std::move(on_window_done);
     dmaStats_.windowsUsed.inc();
 
+    windowEnd_ = win_end;
     Tick start = std::max(win_start, eq_.now());
-    eq_.schedule(start, [this, win_end] { runNext(win_end); });
+    eq_.schedule(windowStartEvent_, start);
 }
 
 void

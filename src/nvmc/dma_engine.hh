@@ -52,7 +52,9 @@ class DmaEngine
   public:
     DmaEngine(EventQueue& eq, NvmcDdr4Controller& ctrl,
               std::uint32_t bytes_per_window)
-        : eq_(eq), ctrl_(ctrl), bytesPerWindow_(bytes_per_window)
+        : eq_(eq), ctrl_(ctrl), bytesPerWindow_(bytes_per_window),
+          windowStartEvent_([this] { runNext(windowEnd_); },
+                            "dma-window-start")
     {
     }
 
@@ -83,8 +85,11 @@ class DmaEngine
     std::uint32_t bytesPerWindow_;
 
     std::deque<DmaRequest> queue_;
+    /** Kicks the first transfer once the granted window opens. */
+    EventFunctionWrapper windowStartEvent_;
     bool windowActive_ = false;
     std::uint32_t windowBudget_ = 0;
+    Tick windowEnd_ = 0;
     std::function<void()> windowDone_;
 
     DmaStats dmaStats_;
