@@ -214,4 +214,4 @@ BENCHMARK(BM_Ablation_Everything)->Iterations(1)
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

@@ -9,7 +9,7 @@
  * same 1%..16% fractions the paper's 1-16 GB covers.
  */
 
-#include <benchmark/benchmark.h>
+#include "bench_common.hh"
 
 #include "driver/dram_cache.hh"
 #include "workload/tpch.hh"
@@ -69,4 +69,4 @@ BENCHMARK_CAPTURE(BM_CachePolicy_HitRate, random, std::string("random"))
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

@@ -15,7 +15,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "bench_systems.hh"
+#include "common/trace.hh"
 
 namespace nvdimmc::bench
 {
@@ -34,6 +39,100 @@ report(benchmark::State& state, const workload::FioResult& res,
         state.counters["paper_KIOPS"] = paper_kiops;
 }
 
+/** Observability switches a bench binary accepts on top of the
+ *  Google Benchmark flags (stripped before benchmark::Initialize):
+ *
+ *      --trace[=path]   capture a Chrome trace_event JSON of the whole
+ *                       run (default trace.json); open in Perfetto.
+ *      --stats[=path]   append one JSON line per benchmark with the
+ *                       system's full hierarchical stat dump
+ *                       (default stats.jsonl).
+ */
+struct Observability
+{
+    bool traceOn = false;
+    std::string tracePath = "trace.json";
+    std::string statsPath; ///< Empty = stats export off.
+};
+
+inline Observability&
+observability()
+{
+    static Observability obs;
+    return obs;
+}
+
+/**
+ * Strip --trace / --stats from argv (call before
+ * benchmark::Initialize) and start the tracer if asked. Tracing is
+ * process-wide and single-threaded; benches run systems serially.
+ */
+inline void
+initObservability(int* argc, char** argv)
+{
+    Observability& obs = observability();
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--trace") == 0) {
+            obs.traceOn = true;
+        } else if (std::strncmp(a, "--trace=", 8) == 0) {
+            obs.traceOn = true;
+            obs.tracePath = a + 8;
+        } else if (std::strcmp(a, "--stats") == 0) {
+            obs.statsPath = "stats.jsonl";
+        } else if (std::strncmp(a, "--stats=", 8) == 0) {
+            obs.statsPath = a + 8;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    if (obs.traceOn)
+        trace::start(obs.tracePath);
+}
+
+/** Append one {"bench": name, "stats": {...}} line to the stats
+ *  JSONL file (no-op unless --stats was given). */
+inline void
+writeSystemStats(const std::string& name,
+                 const core::NvdimmcSystem& sys)
+{
+    const Observability& obs = observability();
+    if (obs.statsPath.empty())
+        return;
+    std::ofstream os(obs.statsPath, std::ios::app);
+    if (!os)
+        return;
+    os << "{\"bench\":\"" << name << "\",\"stats\":";
+    sys.dumpStatsJson(os);
+    os << "}\n";
+}
+
+/** Flush the trace file (no-op unless --trace was given). */
+inline void
+finishObservability()
+{
+    if (observability().traceOn)
+        trace::stop();
+}
+
 } // namespace nvdimmc::bench
+
+/** BENCHMARK_MAIN() plus the --trace / --stats observability flags
+ *  (stripped from argv before Google Benchmark sees them). */
+#define NVDIMMC_BENCH_MAIN()                                          \
+    int main(int argc, char** argv)                                   \
+    {                                                                 \
+        nvdimmc::bench::initObservability(&argc, argv);               \
+        benchmark::Initialize(&argc, argv);                           \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))       \
+            return 1;                                                 \
+        benchmark::RunSpecifiedBenchmarks();                          \
+        benchmark::Shutdown();                                        \
+        nvdimmc::bench::finishObservability();                        \
+        return 0;                                                     \
+    }                                                                 \
+    int main(int, char**)
 
 #endif // NVDIMMC_BENCH_BENCH_COMMON_HH

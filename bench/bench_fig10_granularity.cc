@@ -114,4 +114,4 @@ BENCHMARK(BM_NvdcCached_128B_8T)->Iterations(1)
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

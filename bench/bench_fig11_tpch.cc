@@ -61,4 +61,4 @@ BENCHMARK(BM_Fig11_TpchQuery)->DenseRange(1, 22)->Iterations(1)
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

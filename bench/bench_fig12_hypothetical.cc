@@ -114,4 +114,4 @@ BENCHMARK(BM_Fig12_Mechanistic)
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

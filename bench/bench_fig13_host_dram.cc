@@ -69,4 +69,4 @@ BENCHMARK(BM_Fig13_HostSide)
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

@@ -51,4 +51,4 @@ BENCHMARK(BM_Fig7_FileCopy)->Iterations(1)
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

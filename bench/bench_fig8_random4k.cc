@@ -16,6 +16,13 @@ namespace
 
 using workload::FioConfig;
 
+const char*
+patternTag(FioConfig::Pattern pattern)
+{
+    return pattern == FioConfig::Pattern::RandRead ? "rand_read_4k"
+                                                   : "rand_write_4k";
+}
+
 FioConfig
 baseCfg(FioConfig::Pattern pattern)
 {
@@ -54,6 +61,9 @@ BM_NvdcCached(benchmark::State& state, FioConfig::Pattern pattern,
         res = runFio(sys->eq(), nvdcAccess(*sys), cfg);
         if (!sys->hardwareClean())
             state.SkipWithError("bus conflict detected");
+        writeSystemStats(std::string("BM_NvdcCached/") +
+                             patternTag(pattern),
+                         *sys);
     }
     report(state, res, paper_mbps, paper_kiops);
 }
@@ -74,6 +84,9 @@ BM_NvdcUncached(benchmark::State& state, FioConfig::Pattern pattern,
         res = runFio(sys->eq(), nvdcAccess(*sys), cfg);
         if (!sys->hardwareClean())
             state.SkipWithError("bus conflict detected");
+        writeSystemStats(std::string("BM_NvdcUncached/") +
+                             patternTag(pattern),
+                         *sys);
     }
     report(state, res, paper_mbps, paper_kiops);
 }
@@ -103,4 +116,4 @@ BENCHMARK_CAPTURE(BM_NvdcUncached, rand_write_4k,
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

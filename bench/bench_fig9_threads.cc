@@ -123,4 +123,4 @@ BENCHMARK_CAPTURE(BM_NvdcUncached_Threads, rand_write,
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

@@ -67,4 +67,4 @@ BENCHMARK(BM_MixedLoad_Users)
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

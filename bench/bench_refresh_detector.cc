@@ -112,4 +112,4 @@ BENCHMARK(BM_AgingTest_FaultyDetector)
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

@@ -100,4 +100,4 @@ BENCHMARK_CAPTURE(BM_Variant_NvdimmC_Cached, rand_write,
 } // namespace
 } // namespace nvdimmc::bench
 
-BENCHMARK_MAIN();
+NVDIMMC_BENCH_MAIN();

@@ -73,6 +73,31 @@ fioPoint(const workload::FioResult& res)
     return out;
 }
 
+/**
+ * Append the hierarchical observability stats the sweep reports
+ * alongside throughput. Values are deterministic, so they take part
+ * in the --verify serial-vs-parallel comparison.
+ */
+void
+appendSystemStats(PointResult& out, const core::NvdimmcSystem& sys)
+{
+    static const char* const kReported[] = {
+        "nvmc.window.utilization_pct",
+        "nvmc.dma.bytes_moved",
+        "imc.refresh.overhead_pct",
+        "cache.hit_rate",
+        "dram.refreshes",
+    };
+    StatRegistry reg;
+    sys.registerStats(reg);
+    for (const auto& [name, value] : reg.collect()) {
+        for (const char* want : kReported) {
+            if (name == want)
+                out.metrics.emplace_back(name, value);
+        }
+    }
+}
+
 /** The uncached 4 KB random-read point bench_ablation sweeps. */
 PointResult
 runUncachedPoint(std::function<void(core::SystemConfig&)> tweak,
@@ -88,7 +113,9 @@ runUncachedPoint(std::function<void(core::SystemConfig&)> tweak,
     cfg.regionBytes = bytes;
     cfg.rampTime = 5 * kMs;
     cfg.runTime = 120 * kMs;
-    return fioPoint(runFio(sys->eq(), nvdcAccess(*sys), cfg));
+    PointResult out = fioPoint(runFio(sys->eq(), nvdcAccess(*sys), cfg));
+    appendSystemStats(out, *sys);
+    return out;
 }
 
 Sweep

@@ -6,11 +6,17 @@
  * accesses — paper Fig 2b, live.
  *
  *   $ ./examples/bus_inspector
+ *
+ * With `--trace out.json` the run is also captured as a Chrome
+ * trace_event file (open in https://ui.perfetto.dev): refresh windows,
+ * DMA bursts, CP transactions and queue depths on their own tracks.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "common/trace.hh"
 #include "core/system.hh"
 
 using namespace nvdimmc;
@@ -39,8 +45,23 @@ struct TraceSnooper : public bus::CaSnooper
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const char* trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            trace_path = argv[i] + 8;
+        } else {
+            std::fprintf(stderr,
+                         "usage: bus_inspector [--trace out.json]\n");
+            return 1;
+        }
+    }
+    if (trace_path)
+        nvdimmc::trace::start(trace_path);
+
     core::SystemConfig cfg = core::SystemConfig::scaledTest();
     core::NvdimmcSystem sys(cfg);
 
@@ -101,5 +122,14 @@ main()
                     sys.bus().commandCount(1)),
                 static_cast<unsigned long long>(
                     sys.bus().conflictCount()));
+
+    if (trace_path) {
+        std::uint64_t events = nvdimmc::trace::eventCount();
+        if (nvdimmc::trace::stop()) {
+            std::printf("wrote %llu trace events to %s\n",
+                        static_cast<unsigned long long>(events),
+                        trace_path);
+        }
+    }
     return 0;
 }

@@ -44,7 +44,23 @@ class BusTracer : public CaSnooper
 
     const std::deque<Entry>& entries() const { return entries_; }
     std::uint64_t totalObserved() const { return total_; }
-    void clear() { entries_.clear(); }
+
+    /**
+     * Full reset: drop the retained entries AND zero totalObserved().
+     * Before, clear() emptied only the ring and left total_ counting
+     * commands from the discarded epoch — a stale figure for anyone
+     * diffing totals across measurement phases.
+     */
+    void
+    clear()
+    {
+        entries_.clear();
+        total_ = 0;
+    }
+
+    /** Drop only the retained ring; totalObserved() keeps counting
+     *  across the whole tracer lifetime. */
+    void clearEntries() { entries_.clear(); }
 
     /** Count of a given op within the retained window. */
     std::size_t

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace nvdimmc::bus
 {
@@ -23,9 +24,24 @@ MemoryBus::registerMaster(std::string name)
 }
 
 void
+MemoryBus::registerStats(StatRegistry& reg,
+                         const std::string& prefix) const
+{
+    reg.add(prefix + ".conflicts", [this] {
+        return static_cast<double>(conflictCount());
+    });
+    for (std::size_t m = 0; m < masters_.size(); ++m) {
+        reg.add(prefix + ".commands." + masters_[m], [this, m] {
+            return static_cast<double>(commandCounts_[m]);
+        });
+    }
+}
+
+void
 MemoryBus::recordConflict(Tick now, std::string what, int a, int b)
 {
     conflicts_.push_back({now, what, a, b});
+    trace::instant("bus", "conflict", now);
     if (panicOnConflict_) {
         panic("bus conflict @", now, ": ", conflicts_.back().what,
               " (", masterName(a), " vs ",
@@ -51,11 +67,22 @@ MemoryBus::issueCommand(int master, const dram::Ddr4Command& cmd)
                         cmd.op != dram::Ddr4Op::Nop;
 
     if (drives) {
-        if (now < caBusyUntil_ && caOwner_ != master) {
+        if (now < caBusyUntil_) {
+            // Two CA frames in one tCK slot are an electrical
+            // conflict no matter who drives them: a master
+            // over-driving its own command slot is just as much a
+            // protocol violation as a cross-master collision, and
+            // used to slip through the caOwner_ exemption.
             std::ostringstream os;
-            os << "CA collision: " << masterName(master) << " drives "
-               << cmd.describe() << " while " << masterName(caOwner_)
-               << " owns the bus";
+            if (caOwner_ == master) {
+                os << "CA over-drive: " << masterName(master)
+                   << " drives " << cmd.describe()
+                   << " in its own still-busy command slot";
+            } else {
+                os << "CA collision: " << masterName(master)
+                   << " drives " << cmd.describe() << " while "
+                   << masterName(caOwner_) << " owns the bus";
+            }
             recordConflict(now, os.str(), master, caOwner_);
         }
         caBusyUntil_ = now + slot;

@@ -102,6 +102,10 @@ class MemoryBus
         return commandCounts_[master];
     }
 
+    /** Register conflict/command stats under @p prefix (e.g. "bus"). */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
+
   private:
     struct DqClaim
     {

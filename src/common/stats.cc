@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 namespace nvdimmc
@@ -44,8 +45,13 @@ Histogram::percentile(double p) const
             continue;
         if (seen + buckets_[b] > target) {
             // Interpolate linearly inside the bucket [2^b, 2^(b+1)).
+            // The top bucket's upper edge would be 2^64 — a UB shift
+            // on 64-bit Tick — and no recorded sample exceeds max_
+            // anyway, so clamp the bucket to it.
             Tick lo = b == 0 ? 0 : (Tick{1} << b);
-            Tick hi = Tick{1} << (b + 1);
+            Tick hi = b + 1 >= buckets_.size() ? max_
+                                               : (Tick{1} << (b + 1));
+            hi = std::min(hi, max_);
             double frac = static_cast<double>(target - seen) /
                           static_cast<double>(buckets_[b]);
             auto v = static_cast<Tick>(
@@ -86,10 +92,61 @@ StatRegistry::add(std::string name, Getter getter)
 }
 
 void
+StatRegistry::addCounter(std::string name, const Counter& c)
+{
+    add(std::move(name),
+        [&c] { return static_cast<double>(c.value()); });
+}
+
+void
+StatRegistry::addHistogram(const std::string& name, const Histogram& h)
+{
+    add(name + ".count",
+        [&h] { return static_cast<double>(h.count()); });
+    add(name + ".mean", [&h] { return h.mean(); });
+    add(name + ".p50",
+        [&h] { return static_cast<double>(h.percentile(50)); });
+    add(name + ".p99",
+        [&h] { return static_cast<double>(h.percentile(99)); });
+    add(name + ".max",
+        [&h] { return static_cast<double>(h.max()); });
+}
+
+void
 StatRegistry::dump(std::ostream& os) const
 {
     for (const auto& [name, getter] : entries_)
         os << name << " = " << getter() << "\n";
+}
+
+void
+StatRegistry::dumpJson(std::ostream& os) const
+{
+    auto prec = os.precision(17);
+    os << "{";
+    bool first = true;
+    for (const auto& [name, getter] : entries_) {
+        os << (first ? "\"" : ",\"") << name << "\":";
+        // JSON has no NaN/Inf literal; emit null for non-finite.
+        double v = getter();
+        if (std::isfinite(v))
+            os << v;
+        else
+            os << "null";
+        first = false;
+    }
+    os << "}";
+    os.precision(prec);
+}
+
+std::vector<std::pair<std::string, double>>
+StatRegistry::collect() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, getter] : entries_)
+        out.emplace_back(name, getter());
+    return out;
 }
 
 } // namespace nvdimmc

@@ -111,8 +111,11 @@ class TimeSeries
 };
 
 /**
- * Registry mapping stat names to values for a formatted dump. Modules
- * register lambdas so dumping always reflects live values.
+ * Registry mapping hierarchical stat names (dot-separated, e.g.
+ * "imc.rdq.occupancy") to values. Modules register their counters and
+ * histograms through registerStats() hooks so dumping always reflects
+ * live values; the registry can render a text dump or a flat JSON
+ * object (machine-diffable snapshots for the benches).
  */
 class StatRegistry
 {
@@ -120,7 +123,26 @@ class StatRegistry
     using Getter = std::function<double()>;
 
     void add(std::string name, Getter getter);
+
+    /** Register a counter's live value under @p name. */
+    void addCounter(std::string name, const Counter& c);
+
+    /**
+     * Register a histogram as derived entries @p name.count / .mean /
+     * .p50 / .p99 / .max (ticks, as doubles).
+     */
+    void addHistogram(const std::string& name, const Histogram& h);
+
+    /** "name = value" lines, registration order. */
     void dump(std::ostream& os) const;
+
+    /** One flat JSON object {"name": value, ...}; no trailing \n. */
+    void dumpJson(std::ostream& os) const;
+
+    /** Evaluate every getter now. */
+    std::vector<std::pair<std::string, double>> collect() const;
+
+    std::size_t size() const { return entries_.size(); }
 
   private:
     std::vector<std::pair<std::string, Getter>> entries_;

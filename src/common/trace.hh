@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Zero-overhead-when-off event tracer emitting Chrome trace_event
+ * JSON (loadable in Perfetto / chrome://tracing).
+ *
+ * The tracer is a process-wide capture facility for *one* simulated
+ * system at a time: components record duration events (a refresh
+ * window, a DMA burst, a CP transaction), instant events (a REF edge,
+ * a detector false-fire, a bus conflict) and counter series (queue
+ * occupancy, bytes per window) onto named tracks. Every record call
+ * is guarded by a single global-bool test, so with tracing disabled
+ * the instrumentation costs one predicted-not-taken branch — the
+ * simulated behaviour is identical either way (the tracer only
+ * observes; determinism_test asserts byte-identical stats with
+ * tracing on vs. off).
+ *
+ * Time: simulation ticks are picoseconds; the Chrome format's `ts` /
+ * `dur` fields are microseconds, so values are emitted as fractional
+ * microseconds with picosecond resolution.
+ *
+ * Capture is bounded (kMaxEvents); events past the cap are counted
+ * and the drop total is reported at stop() so a truncated trace is
+ * never mistaken for a complete one. The tracer is not thread-safe:
+ * enable it only for single-threaded runs (the parallel sweep runner
+ * never enables it).
+ */
+
+#ifndef NVDIMMC_COMMON_TRACE_HH
+#define NVDIMMC_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace nvdimmc::trace
+{
+
+namespace detail
+{
+
+extern bool gEnabled;
+
+void recordDuration(const char* track, const char* name, Tick start,
+                    Tick end);
+void recordInstant(const char* track, const char* name, Tick at);
+void recordCounter(const char* track, const char* series, Tick at,
+                   double value);
+
+} // namespace detail
+
+/** Events retained per capture; later records are dropped+counted. */
+constexpr std::uint64_t kMaxEvents = 1u << 22;
+
+/** Is a capture active? The one branch paid on every record call. */
+inline bool enabled() { return detail::gEnabled; }
+
+/**
+ * Begin capturing; events buffer in memory and are written to
+ * @p path as Chrome trace JSON by stop(). Starting while already
+ * active restarts the capture (prior buffered events are discarded).
+ */
+void start(std::string path);
+
+/**
+ * Finalize: write the JSON file and disable capture.
+ * @return true if the file was written successfully (false if no
+ *         capture was active or the file could not be written).
+ */
+bool stop();
+
+/** Events currently buffered (for tests). */
+std::uint64_t eventCount();
+
+/** Events dropped because the capture hit kMaxEvents. */
+std::uint64_t droppedCount();
+
+/** A completed span [start, end) on @p track. */
+inline void
+duration(const char* track, const char* name, Tick start, Tick end)
+{
+    if (enabled())
+        detail::recordDuration(track, name, start, end);
+}
+
+/** A point event on @p track at tick @p at. */
+inline void
+instant(const char* track, const char* name, Tick at)
+{
+    if (enabled())
+        detail::recordInstant(track, name, at);
+}
+
+/** One sample of counter series "track.series" at tick @p at. */
+inline void
+counter(const char* track, const char* series, Tick at, double value)
+{
+    if (enabled())
+        detail::recordCounter(track, series, at, value);
+}
+
+} // namespace nvdimmc::trace
+
+#endif // NVDIMMC_COMMON_TRACE_HH

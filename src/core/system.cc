@@ -115,82 +115,52 @@ NvdimmcSystem::precondition(std::uint64_t first_page,
 }
 
 void
-NvdimmcSystem::dumpStats(std::ostream& os) const
+NvdimmcSystem::registerStats(StatRegistry& reg) const
 {
-    StatRegistry reg;
-    auto add_counter = [&reg](const char* name, const Counter& c) {
-        reg.add(name, [&c] { return static_cast<double>(c.value()); });
-    };
+    dram_->registerStats(reg, "dram");
+    bus_->registerStats(reg, "bus");
+    imc_->registerStats(reg, "imc");
+    cpuCache_->registerStats(reg, "cpu");
+    driver_->registerStats(reg, "nvdc");
 
-    const auto& ds = dram_->stats();
-    add_counter("dram.activates", ds.activates);
-    add_counter("dram.reads", ds.reads);
-    add_counter("dram.writes", ds.writes);
-    add_counter("dram.refreshes", ds.refreshes);
-    add_counter("dram.violations", ds.violations);
-    reg.add("bus.conflicts", [this] {
-        return static_cast<double>(bus_->conflictCount());
-    });
-
-    const auto& is = imc_->stats();
-    add_counter("imc.reads_accepted", is.readsAccepted);
-    add_counter("imc.writes_accepted", is.writesAccepted);
-    add_counter("imc.wpq_forwards", is.wpqForwards);
-    add_counter("imc.refreshes_issued", is.refreshesIssued);
-    reg.add("imc.read_latency_mean_ns", [&is] {
-        return is.readLatency.mean() / 1000.0;
-    });
-
-    const auto& cs = cpuCache_->stats();
-    add_counter("cpu.load_hits", cs.loadHits);
-    add_counter("cpu.load_misses", cs.loadMisses);
-    add_counter("cpu.nt_stores", cs.ntStores);
-    add_counter("cpu.flushes", cs.flushes);
-
-    const auto& drv = driver_->stats();
-    add_counter("nvdc.read_ops", drv.readOps);
-    add_counter("nvdc.write_ops", drv.writeOps);
-    add_counter("nvdc.page_faults", drv.pageFaults);
-    add_counter("nvdc.cachefills", drv.cachefills);
-    add_counter("nvdc.writebacks", drv.writebacks);
-    add_counter("nvdc.merged_commands", drv.mergedCommands);
-    add_counter("nvdc.prefetches", drv.prefetchesIssued);
+    // Flat aliases predating the hierarchical names; sweep scripts and
+    // the snapshot tests key on these.
     const auto& cache_stats = driver_->cache().stats();
-    add_counter("cache.hits", cache_stats.hits);
-    add_counter("cache.misses", cache_stats.misses);
-    reg.add("cache.hit_rate", [&cache_stats] {
-        return cache_stats.hitRate();
-    });
+    reg.addCounter("cache.hits", cache_stats.hits);
+    reg.addCounter("cache.misses", cache_stats.misses);
+    reg.add("cache.hit_rate",
+            [this] { return driver_->cache().stats().hitRate(); });
 
     if (nvmc_) {
+        nvmc_->registerStats(reg, "nvmc");
         const auto& fw = nvmc_->firmware().stats();
-        add_counter("fw.cp_polls", fw.cpPolls);
-        add_counter("fw.commands", fw.commandsAccepted);
-        add_counter("fw.acks", fw.acksWritten);
-        reg.add("nvmc.windows_granted", [this] {
-            return static_cast<double>(nvmc_->windowsGranted());
-        });
-        reg.add("fw.op_latency_mean_us", [&fw] {
-            return fw.opLatency.mean() / 1e6;
+        reg.addCounter("fw.cp_polls", fw.cpPolls);
+        reg.addCounter("fw.commands", fw.commandsAccepted);
+        reg.addCounter("fw.acks", fw.acksWritten);
+        reg.add("fw.op_latency_mean_us", [this] {
+            return nvmc_->firmware().stats().opLatency.mean() / 1e6;
         });
     }
     if (ftl_) {
-        const auto& fs = ftl_->stats();
-        add_counter("ftl.user_reads", fs.userReads);
-        add_counter("ftl.user_writes", fs.userWrites);
-        add_counter("ftl.gc_runs", fs.gcRuns);
-        add_counter("ftl.gc_relocations", fs.gcRelocations);
-        add_counter("ftl.grown_bad_blocks", fs.grownBadBlocks);
-        reg.add("ftl.write_amplification", [&fs] {
-            return fs.writeAmplification();
-        });
-        const auto& zs = znand_->stats();
-        add_counter("znand.page_reads", zs.pageReads);
-        add_counter("znand.page_programs", zs.pagePrograms);
-        add_counter("znand.block_erases", zs.blockErases);
+        ftl_->registerStats(reg, "ftl");
+        znand_->registerStats(reg, "znand");
     }
+}
 
+void
+NvdimmcSystem::dumpStats(std::ostream& os) const
+{
+    StatRegistry reg;
+    registerStats(reg);
     reg.dump(os);
+}
+
+void
+NvdimmcSystem::dumpStatsJson(std::ostream& os) const
+{
+    StatRegistry reg;
+    registerStats(reg);
+    reg.dumpJson(os);
 }
 
 bool

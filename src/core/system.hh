@@ -77,8 +77,20 @@ class NvdimmcSystem
     /** Zero bus conflicts and zero DRAM violations so far? */
     bool hardwareClean() const;
 
+    /**
+     * Register every layer's statistics under the hierarchical names
+     * (dram.*, bus.*, imc.*, cpu.*, nvdc.*, nvmc.*, ftl.*, znand.*)
+     * plus the flat legacy aliases (cache.*, fw.*) older tooling
+     * parses. The registry holds live getters: it must not outlive
+     * this system.
+     */
+    void registerStats(StatRegistry& reg) const;
+
     /** Dump every layer's statistics in "name = value" form. */
     void dumpStats(std::ostream& os) const;
+
+    /** Dump the same statistics as one flat JSON object. */
+    void dumpStatsJson(std::ostream& os) const;
 
   private:
     SystemConfig cfg_;

@@ -155,4 +155,22 @@ CpuCacheModel::isDirty(Addr addr) const
     return it != lines_.end() && it->second.dirty;
 }
 
+void
+CpuCacheModel::registerStats(StatRegistry& reg,
+                             const std::string& prefix) const
+{
+    reg.addCounter(prefix + ".load_hits", stats_.loadHits);
+    reg.addCounter(prefix + ".load_misses", stats_.loadMisses);
+    reg.addCounter(prefix + ".stores", stats_.stores);
+    reg.addCounter(prefix + ".nt_stores", stats_.ntStores);
+    reg.addCounter(prefix + ".flushes", stats_.flushes);
+    reg.addCounter(prefix + ".flush_writebacks",
+                   stats_.flushWritebacks);
+    reg.addCounter(prefix + ".invalidations", stats_.invalidations);
+    reg.addCounter(prefix + ".capacity_evictions",
+                   stats_.capacityEvictions);
+    reg.add(prefix + ".resident_lines",
+            [this] { return static_cast<double>(lines_.size()); });
+}
+
 } // namespace nvdimmc::cpu

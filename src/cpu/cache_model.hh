@@ -89,6 +89,11 @@ class CpuCacheModel
 
     const CacheStats& stats() const { return stats_; }
 
+    /** Register live counters under @p prefix (e.g. "cpu.load_hits")
+     *  plus the derived resident-line occupancy. */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
+
   private:
     struct Line
     {

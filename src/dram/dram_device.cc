@@ -272,4 +272,21 @@ DramDevice::readBurst(const DramCoord& coord, std::uint8_t* data64) const
                 AddressMap::kBurstBytes);
 }
 
+void
+DramDevice::registerStats(StatRegistry& reg,
+                          const std::string& prefix) const
+{
+    reg.addCounter(prefix + ".activates", stats_.activates);
+    reg.addCounter(prefix + ".reads", stats_.reads);
+    reg.addCounter(prefix + ".writes", stats_.writes);
+    reg.addCounter(prefix + ".precharges", stats_.precharges);
+    reg.addCounter(prefix + ".precharge_alls", stats_.prechargeAlls);
+    reg.addCounter(prefix + ".refreshes", stats_.refreshes);
+    reg.addCounter(prefix + ".self_refresh_enters",
+                   stats_.selfRefreshEnters);
+    reg.addCounter(prefix + ".self_refresh_exits",
+                   stats_.selfRefreshExits);
+    reg.addCounter(prefix + ".violations", stats_.violations);
+}
+
 } // namespace nvdimmc::dram

@@ -117,6 +117,12 @@ class DramDevice
     }
 
     const DramStats& stats() const { return stats_; }
+
+    /** Register live device counters under @p prefix (dot-separated
+     *  hierarchy, e.g. "dram.activates"). */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
+
     const std::vector<DramViolation>& violations() const
     {
         return violations_;

@@ -185,4 +185,21 @@ DramCache::markClean(std::uint32_t s)
     slots_[s].dirty = false;
 }
 
+void
+DramCache::registerStats(StatRegistry& reg,
+                         const std::string& prefix) const
+{
+    reg.addCounter(prefix + ".hits", stats_.hits);
+    reg.addCounter(prefix + ".misses", stats_.misses);
+    reg.addCounter(prefix + ".installs", stats_.installs);
+    reg.addCounter(prefix + ".clean_evictions",
+                   stats_.cleanEvictions);
+    reg.addCounter(prefix + ".dirty_evictions",
+                   stats_.dirtyEvictions);
+    reg.add(prefix + ".hit_rate",
+            [this] { return stats_.hitRate(); });
+    reg.add(prefix + ".used_slots",
+            [this] { return static_cast<double>(usedSlots()); });
+}
+
 } // namespace nvdimmc::driver

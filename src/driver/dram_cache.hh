@@ -120,6 +120,11 @@ class DramCache
     const DramCacheStats& stats() const { return stats_; }
     const ReplacementPolicy& policy() const { return *policy_; }
 
+    /** Register live counters + derived hit_rate / occupancy under
+     *  @p prefix (e.g. "cache.hit_rate"). */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
+
   private:
     std::uint32_t slotCount_;
     std::unique_ptr<ReplacementPolicy> policy_;

@@ -682,4 +682,22 @@ NvdcDriver::fillCompleted(std::uint64_t dev_page)
         eq_.scheduleAfter(0, std::move(w));
 }
 
+void
+NvdcDriver::registerStats(StatRegistry& reg,
+                          const std::string& prefix) const
+{
+    reg.addCounter(prefix + ".read_ops", stats_.readOps);
+    reg.addCounter(prefix + ".write_ops", stats_.writeOps);
+    reg.addCounter(prefix + ".page_faults", stats_.pageFaults);
+    reg.addCounter(prefix + ".cachefills", stats_.cachefills);
+    reg.addCounter(prefix + ".writebacks", stats_.writebacks);
+    reg.addCounter(prefix + ".merged_commands", stats_.mergedCommands);
+    reg.addCounter(prefix + ".ack_polls", stats_.ackPolls);
+    reg.addCounter(prefix + ".prefetches", stats_.prefetchesIssued);
+    reg.addCounter(prefix + ".prefetch_hits", stats_.prefetchHits);
+    reg.addHistogram(prefix + ".hit_latency", stats_.hitLatency);
+    reg.addHistogram(prefix + ".fault_latency", stats_.faultLatency);
+    cache_.registerStats(reg, prefix + ".cache");
+}
+
 } // namespace nvdimmc::driver

@@ -179,6 +179,11 @@ class NvdcDriver
     const DramCache& cache() const { return cache_; }
     PageTable& pageTable() { return pageTable_; }
     const NvdcDriverStats& stats() const { return stats_; }
+
+    /** Register driver counters + hit/fault latency histograms under
+     *  @p prefix, and the DRAM cache under @p prefix ".cache". */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
     const NvdcDriverConfig& config() const { return cfg_; }
     const nvmc::ReservedLayout& layout() const { return layout_; }
 

@@ -385,4 +385,21 @@ Ftl::drainPending()
     }
 }
 
+void
+Ftl::registerStats(StatRegistry& reg, const std::string& prefix) const
+{
+    reg.addCounter(prefix + ".user_reads", stats_.userReads);
+    reg.addCounter(prefix + ".user_writes", stats_.userWrites);
+    reg.addCounter(prefix + ".gc_runs", stats_.gcRuns);
+    reg.addCounter(prefix + ".gc_relocations", stats_.gcRelocations);
+    reg.addCounter(prefix + ".gc_erases", stats_.gcErases);
+    reg.addCounter(prefix + ".unmapped_reads", stats_.unmappedReads);
+    reg.addCounter(prefix + ".uncorrectable_reads",
+                   stats_.uncorrectableReads);
+    reg.addCounter(prefix + ".grown_bad_blocks",
+                   stats_.grownBadBlocks);
+    reg.add(prefix + ".write_amplification",
+            [this] { return stats_.writeAmplification(); });
+}
+
 } // namespace nvdimmc::ftl

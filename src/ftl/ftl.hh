@@ -86,6 +86,12 @@ class Ftl : public nvm::PageBackend
                    nvm::Callback done) override;
 
     const FtlStats& stats() const { return stats_; }
+
+    /** Register live counters + derived write_amplification under
+     *  @p prefix (e.g. "ftl.user_writes"). */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
+
     const MappingTable& mapping() const { return map_; }
     const BadBlockManager& badBlocks() const { return bbm_; }
     std::size_t freeBlockCount() const { return freeBlocks_.size(); }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace nvdimmc::imc
 {
@@ -113,6 +114,8 @@ Imc::readLine(Addr addr, std::uint8_t* buf, Callback done)
     req.onComplete = std::move(done);
     readQ_.push_back(std::move(req));
     stats_.readsAccepted.inc();
+    trace::counter("imc.queues", "rdq", eq_.now(),
+                   static_cast<double>(readQ_.size()));
     wake(eq_.now());
     return true;
 }
@@ -139,6 +142,8 @@ Imc::writeLine(Addr addr, const std::uint8_t* data, Callback done)
     }
     wpq_.push(std::move(req));
     stats_.writesAccepted.inc();
+    trace::counter("imc.queues", "wpq", eq_.now(),
+                   static_cast<double>(wpq_.size()));
     wake(eq_.now());
     // Posted: complete as soon as the store is in the WPQ.
     if (done)
@@ -195,6 +200,13 @@ Imc::tick()
     const auto& t = bus_.dram().timing();
     const auto& map = bus_.dram().addressMap();
 
+    // Our previous command still owns the CA slot (a request arriving
+    // in the same tick re-enters tick() via wake()).
+    if (now < nextCmdAt_) {
+        wake(nextCmdAt_);
+        return;
+    }
+
     // --- Idle self-refresh management ---
     if (selfRefresh_) {
         bool work = !readQ_.empty() || !wpq_.empty();
@@ -203,6 +215,7 @@ Imc::tick()
         // Exit self-refresh; commands legal after tXS.
         bus_.issueCommand(masterId_,
                           {dram::Ddr4Op::SelfRefreshExit, 0, 0, 0, 0});
+        nextCmdAt_ = now + t.tCK;
         selfRefresh_ = false;
         srExitReadyAt_ = now + t.tXS;
         nextRefreshDue_ = srExitReadyAt_ + cfg_.refresh.tREFI;
@@ -219,6 +232,7 @@ Imc::tick()
             bus_.issueCommand(
                 masterId_,
                 {dram::Ddr4Op::SelfRefreshEnter, 0, 0, 0, 0});
+            nextCmdAt_ = now + t.tCK;
             selfRefresh_ = true;
             return;
         }
@@ -247,6 +261,7 @@ Imc::tick()
         bus_.issueCommand(masterId_,
                           {dram::Ddr4Op::PrechargeAll, 0, 0, 0, 0});
         shadow_.onPrechargeAll(now);
+        nextCmdAt_ = now + t.tCK;
         refState_ = RefState::WaitRef;
         wake(now + t.tCK);
         return;
@@ -260,11 +275,18 @@ Imc::tick()
         }
         bus_.issueCommand(masterId_, {dram::Ddr4Op::Refresh, 0, 0, 0, 0});
         shadow_.onRefresh(now);
+        nextCmdAt_ = now + t.tCK;
         stats_.refreshesIssued.inc();
+        stats_.refreshBlockedTicks.inc(cfg_.refresh.tRFC);
         lastRefreshAt_ = now;
         // Block for the PROGRAMMED tRFC; the device only needs its
         // real tRFC, the rest is the NVMC's window.
         blockedUntil_ = now + cfg_.refresh.tRFC;
+        if (trace::enabled()) {
+            trace::instant("imc.refresh", "REF", now);
+            trace::duration("imc.refresh", "blocked(programmed tRFC)",
+                            now, blockedUntil_);
+        }
         nextRefreshDue_ += cfg_.refresh.tREFI;
         refState_ = RefState::Blocked;
         wake(blockedUntil_);
@@ -346,6 +368,7 @@ Imc::tick()
       case SchedDecision::Action::None:
         break;
     }
+    nextCmdAt_ = now + t.tCK;
 
     wake(now + t.tCK);
 }
@@ -411,6 +434,38 @@ Imc::bulkTransfer(std::uint32_t bytes, bool is_write, Callback done)
     else
         stats_.readsAccepted.inc();
     eq_.schedule(finish, std::move(done));
+}
+
+void
+Imc::registerStats(StatRegistry& reg, const std::string& prefix) const
+{
+    reg.addCounter(prefix + ".reads_accepted", stats_.readsAccepted);
+    reg.addCounter(prefix + ".writes_accepted",
+                   stats_.writesAccepted);
+    reg.addCounter(prefix + ".wpq_forwards", stats_.wpqForwards);
+    reg.addCounter(prefix + ".refreshes_issued",
+                   stats_.refreshesIssued);
+    reg.addHistogram(prefix + ".read_latency", stats_.readLatency);
+    reg.add(prefix + ".read_latency_mean_ns",
+            [this] { return stats_.readLatency.mean() / 1000.0; });
+    reg.add(prefix + ".rdq.occupancy", [this] {
+        return static_cast<double>(readQ_.size());
+    });
+    reg.add(prefix + ".wpq.occupancy", [this] {
+        return static_cast<double>(wpq_.size());
+    });
+    reg.addCounter(prefix + ".refresh.blocked_ticks",
+                   stats_.refreshBlockedTicks);
+    // Fraction of all simulated time the host spent inside its
+    // programmed-tRFC blackout (paper Fig 13's x-axis cost).
+    reg.add(prefix + ".refresh.overhead_pct", [this] {
+        Tick now = eq_.now();
+        return now == 0 ? 0.0
+                        : 100.0 *
+                              static_cast<double>(
+                                  stats_.refreshBlockedTicks.value()) /
+                              static_cast<double>(now);
+    });
 }
 
 std::size_t

@@ -80,6 +80,9 @@ struct ImcStats
     Counter writesAccepted;
     Counter wpqForwards;
     Counter refreshesIssued;
+    /** Host-side dead time: programmed-tRFC ticks spent blocked after
+     *  each REF (the window the NVMC feeds on). */
+    Counter refreshBlockedTicks;
     Histogram readLatency;  ///< Enqueue -> data delivered.
 };
 
@@ -164,6 +167,14 @@ class Imc
 
     const ImcStats& stats() const { return stats_; }
 
+    /**
+     * Register counters, queue occupancy and refresh-overhead
+     * metrics under @p prefix (e.g. "imc" -> "imc.rdq.occupancy",
+     * "imc.refresh.overhead_pct").
+     */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
+
   private:
     void wake(Tick at);
     void tick();
@@ -187,6 +198,11 @@ class Imc
     Tick nextRefreshDue_;
     Tick lastRefreshAt_ = kTickNever;
     Tick blockedUntil_ = 0;
+
+    /** Earliest tick the CA slot is free after our last command; a
+     *  same-tick wake() (request arrival) must not let tick() drive a
+     *  second command into a still-busy slot. */
+    Tick nextCmdAt_ = 0;
 
     /** Thermal state: base registers scaled when hot. */
     dram::RefreshRegisters baseRefresh_;

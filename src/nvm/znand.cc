@@ -288,4 +288,20 @@ ZNand::isBadBlock(std::uint64_t block_no) const
     return badBlocks_.count(block_no) != 0;
 }
 
+void
+ZNand::registerStats(StatRegistry& reg,
+                     const std::string& prefix) const
+{
+    reg.addCounter(prefix + ".page_reads", stats_.pageReads);
+    reg.addCounter(prefix + ".page_programs", stats_.pagePrograms);
+    reg.addCounter(prefix + ".block_erases", stats_.blockErases);
+    reg.addCounter(prefix + ".discipline_violations",
+                   stats_.disciplineViolations);
+    reg.addCounter(prefix + ".program_failures",
+                   stats_.programFailures);
+    reg.addHistogram(prefix + ".read_latency", stats_.readLatency);
+    reg.addHistogram(prefix + ".program_latency",
+                     stats_.programLatency);
+}
+
 } // namespace nvdimmc::nvm

@@ -158,6 +158,11 @@ class ZNand
 
     const ZNandStats& stats() const { return stats_; }
 
+    /** Register live counters + read/program latency histograms under
+     *  @p prefix (e.g. "znand.page_programs"). */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
+
   private:
     struct BlockState
     {

@@ -66,7 +66,7 @@ NvmcDdr4Controller::transferInWindow(Addr addr, std::uint32_t bytes,
     done_ = std::move(done);
     stats_.transfers.inc();
 
-    Tick start = std::max(win_start, eq_.now());
+    Tick start = std::max({win_start, eq_.now(), nextCmdAt_});
     eq_.schedule(stepEvent_, start);
 }
 
@@ -76,6 +76,11 @@ NvmcDdr4Controller::step()
     const Tick now = eq_.now();
     const auto& t = bus_.dram().timing();
     const auto& map = bus_.dram().addressMap();
+
+    if (now < nextCmdAt_) {
+        eq_.schedule(stepEvent_, nextCmdAt_);
+        return;
+    }
 
     if (bytesLeft_ == 0) {
         finish();
@@ -108,6 +113,7 @@ NvmcDdr4Controller::step()
             ob % map.banksPerGroup());
         bus_.issueCommand(masterId_, {Ddr4Op::Precharge, bg, ba, 0, 0});
         shadow_.onPrecharge(ob, now);
+        nextCmdAt_ = now + t.tCK;
         openBank_ = -1;
         eq_.schedule(stepEvent_, now + t.tCK);
         return;
@@ -128,6 +134,7 @@ NvmcDdr4Controller::step()
         bus_.issueCommand(masterId_, {Ddr4Op::Activate, c.bankGroup,
                                       c.bank, c.row, 0});
         shadow_.onActivate(fb, c.bankGroup, c.row, now);
+        nextCmdAt_ = now + t.tCK;
         openBank_ = static_cast<std::int32_t>(fb);
         eq_.schedule(stepEvent_, now + t.tRCD);
         return;
@@ -163,6 +170,7 @@ NvmcDdr4Controller::step()
     }
     bytesDone_ += AddressMap::kBurstBytes;
     bytesLeft_ -= AddressMap::kBurstBytes;
+    nextCmdAt_ = now + t.tCK;
 
     eq_.schedule(stepEvent_, now + t.tCCD_L);
 }
@@ -190,6 +198,7 @@ NvmcDdr4Controller::finish()
             bus_.issueCommand(masterId_,
                               {Ddr4Op::Precharge, bg, ba, 0, 0});
             shadow_.onPrecharge(ob, eq_.now());
+            nextCmdAt_ = eq_.now() + bus_.dram().timing().tCK;
             openBank_ = -1;
             active_ = false;
             auto done = std::move(done_);

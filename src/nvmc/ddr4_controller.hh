@@ -96,6 +96,11 @@ class NvmcDdr4Controller
     /** Flat index of the bank this controller currently holds open. */
     std::int32_t openBank_ = -1;
 
+    /** Earliest tick the CA bus slot is free again after our last
+     *  command; a new transfer's first command must not land in the
+     *  previous transfer's closing-PRE slot. */
+    Tick nextCmdAt_ = 0;
+
     NvmcCtrlStats stats_;
 };
 

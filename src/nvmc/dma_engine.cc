@@ -1,6 +1,7 @@
 #include "nvmc/dma_engine.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace nvdimmc::nvmc
 {
@@ -38,7 +39,27 @@ DmaEngine::runWindow(Tick win_start, Tick win_end,
 
     windowEnd_ = win_end;
     Tick start = std::max(win_start, eq_.now());
+    windowOpenedAt_ = start;
+    windowBytes_ = 0;
     eq_.schedule(windowStartEvent_, start);
+}
+
+void
+DmaEngine::closeWindow()
+{
+    const Tick now = eq_.now();
+    windowActive_ = false;
+    dmaStats_.busyTicks.inc(now - windowOpenedAt_);
+    dmaStats_.bytesPerWindow.record(windowBytes_);
+    if (trace::enabled()) {
+        trace::duration("nvmc.dma", "dma-burst", windowOpenedAt_, now);
+        trace::counter("nvmc.dma", "bytes", now,
+                       static_cast<double>(windowBytes_));
+    }
+    if (windowDone_) {
+        auto cb = std::move(windowDone_);
+        cb();
+    }
 }
 
 void
@@ -49,11 +70,7 @@ DmaEngine::runNext(Tick win_end)
     bool control = !queue_.empty() && queue_.front().bytes <= 64;
     if (queue_.empty() || (windowBudget_ == 0 && !control) ||
         eq_.now() >= win_end) {
-        windowActive_ = false;
-        if (windowDone_) {
-            auto cb = std::move(windowDone_);
-            cb();
-        }
+        closeWindow();
         return;
     }
 
@@ -74,6 +91,7 @@ DmaEngine::runNext(Tick win_end)
         [this, win_end, control](std::uint32_t moved) {
             DmaRequest& front = queue_.front();
             dmaStats_.bytesMoved.inc(moved);
+            windowBytes_ += moved;
             if (!control)
                 windowBudget_ -= std::min(windowBudget_, moved);
             front.addr += moved;
@@ -90,11 +108,7 @@ DmaEngine::runNext(Tick win_end)
             if (moved == 0) {
                 // The window had no room left; resume next window
                 // rather than spinning at this tick.
-                windowActive_ = false;
-                if (windowDone_) {
-                    auto cb = std::move(windowDone_);
-                    cb();
-                }
+                closeWindow();
                 return;
             }
             runNext(win_end);

@@ -44,6 +44,10 @@ struct DmaStats
     Counter windowsUsed;
     Counter bytesMoved;
     Counter windowCarryovers; ///< Requests split across windows.
+    /** Ticks actually spent driving transfers inside windows (the
+     *  "used" half of window utilization). */
+    Counter busyTicks;
+    Histogram bytesPerWindow; ///< Bytes moved in each used window.
 };
 
 /** The engine. */
@@ -79,6 +83,9 @@ class DmaEngine
 
   private:
     void runNext(Tick win_end);
+    /** Close the active window: record used ticks/bytes, fire the
+     *  window-done callback. */
+    void closeWindow();
 
     EventQueue& eq_;
     NvmcDdr4Controller& ctrl_;
@@ -90,6 +97,8 @@ class DmaEngine
     bool windowActive_ = false;
     std::uint32_t windowBudget_ = 0;
     Tick windowEnd_ = 0;
+    Tick windowOpenedAt_ = 0;
+    std::uint64_t windowBytes_ = 0;
     std::function<void()> windowDone_;
 
     DmaStats dmaStats_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace nvdimmc::nvmc
 {
@@ -43,6 +44,7 @@ Firmware::maybeEnqueuePoll()
 
     pollInFlight_ = true;
     stats_.cpPolls.inc();
+    trace::instant("nvmc.cp", "poll", eq_.now());
 
     auto data = std::make_shared<std::vector<std::uint8_t>>(
         std::size_t{cfg_.cpQueueDepth} * ReservedLayout::kLineBytes);
@@ -179,6 +181,9 @@ Firmware::writeAck(std::shared_ptr<Op> op)
         ReservedLayout::kLineBytes);
     encodeCpAck({op->cmd.phase, 1}, line->data());
 
+    op->ackEnqueuedAt = eq_.now();
+    stats_.dataLatency.record(op->ackEnqueuedAt - op->acceptedAt);
+
     DmaRequest req;
     req.addr = layout_.ackAddr(op->cpIndex);
     req.bytes = ReservedLayout::kLineBytes;
@@ -187,6 +192,11 @@ Firmware::writeAck(std::shared_ptr<Op> op)
     req.done = [this, op] {
         stats_.acksWritten.inc();
         stats_.opLatency.record(eq_.now() - op->acceptedAt);
+        stats_.ackLatency.record(eq_.now() - op->ackEnqueuedAt);
+        if (trace::enabled()) {
+            trace::duration("nvmc.cp", toString(op->cmd.opcode),
+                            op->acceptedAt, eq_.now());
+        }
         NVDC_ASSERT(opsInFlight_ > 0, "op accounting underflow");
         opsInFlight_ -= 1;
     };

@@ -75,7 +75,11 @@ struct FirmwareStats
     Counter mergedOps;
     Counter acksWritten;
     Counter powerFailDumpedPages;
-    Histogram opLatency; ///< Command decoded -> ack in DRAM.
+    Histogram opLatency;   ///< Command decoded -> ack in DRAM.
+    Histogram dataLatency; ///< Command decoded -> ack DMA enqueued
+                           ///< (media + data-window share of opLatency).
+    Histogram ackLatency;  ///< Ack DMA enqueued -> ack in DRAM (the
+                           ///< window-wait tail of opLatency).
 };
 
 /** The firmware. */
@@ -113,6 +117,7 @@ class Firmware
         CpCommand cmd;
         std::uint32_t cpIndex = 0;
         Tick acceptedAt = 0;
+        Tick ackEnqueuedAt = 0;
         std::shared_ptr<std::vector<std::uint8_t>> buffer;
         std::shared_ptr<std::vector<std::uint8_t>> buffer2;
     };

@@ -70,6 +70,18 @@ class Nvmc
     /** Windows the NVMC has been granted so far. */
     std::uint64_t windowsGranted() const { return windowsGranted_; }
 
+    /** Total usable ticks across all granted windows. */
+    Tick windowTicksGranted() const { return windowTicksGranted_; }
+
+    /**
+     * Register the whole NVMC cluster's stats: detector, DMA engine,
+     * DDR4 controller, firmware, and the derived per-window metrics
+     * the paper's evaluation depends on (@p prefix ".window.*":
+     * open/used/wasted ticks, utilization, bytes per window).
+     */
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const;
+
     /**
      * Failure injection for tests: run a DMA window immediately,
      * outside any refresh.
@@ -90,6 +102,7 @@ class Nvmc
     std::unique_ptr<RefreshDetector> detector_;
 
     std::uint64_t windowsGranted_ = 0;
+    Tick windowTicksGranted_ = 0;
 };
 
 } // namespace nvdimmc::nvmc

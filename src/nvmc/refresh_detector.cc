@@ -1,5 +1,7 @@
 #include "nvmc/refresh_detector.hh"
 
+#include "common/trace.hh"
+
 namespace nvdimmc::nvmc
 {
 
@@ -27,10 +29,12 @@ RefreshDetector::observeFrame(const dram::CaFrame& frame, Tick now)
     if (is_ref && params_.missRate > 0.0 &&
         rng_.chance(params_.missRate)) {
         stats_.injectedMisses.inc();
+        trace::instant("nvmc.detector", "miss", now);
         is_ref = false;
     } else if (!is_ref && params_.falseRate > 0.0 &&
                rng_.chance(params_.falseRate)) {
         stats_.injectedFalsePositives.inc();
+        trace::instant("nvmc.detector", "false-positive", now);
         is_ref = true;
     }
 
@@ -38,6 +42,7 @@ RefreshDetector::observeFrame(const dram::CaFrame& frame, Tick now)
         return;
 
     stats_.refreshesDetected.inc();
+    trace::instant("nvmc.detector", "detected", now);
     // The decoded result becomes available after the deserializer
     // pipeline; the window math is relative to the command tick.
     eq_.schedule(now + detectionLatency(), [this, now] {

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 
+#include "bus/bus_tracer.hh"
 #include "bus/memory_bus.hh"
 #include "common/event_queue.hh"
 
@@ -166,6 +167,47 @@ TEST_F(BusFixture, ConflictRecordsAreDescriptive)
               std::string::npos);
     bus.clearConflicts();
     EXPECT_EQ(bus.conflictCount(), 0u);
+}
+
+TEST_F(BusFixture, SameMasterOverDriveIsAConflict)
+{
+    // A master cramming two CA frames into one tCK slot is just as
+    // much an electrical conflict as a cross-master collision; the
+    // caOwner_ exemption used to let it slip through undetected.
+    bus.issueCommand(host, {Ddr4Op::Activate, 0, 0, 1, 0});
+    bus.issueCommand(host, {Ddr4Op::Read, 0, 0, 1, 0});
+    ASSERT_EQ(bus.conflictCount(), 1u);
+    EXPECT_NE(bus.conflicts()[0].what.find("CA over-drive"),
+              std::string::npos);
+    EXPECT_NE(bus.conflicts()[0].what.find("host"),
+              std::string::npos);
+}
+
+TEST_F(BusFixture, TracerClearResetsTotalButClearEntriesKeepsIt)
+{
+    BusTracer tracer(2);
+    bus.addSnooper(&tracer);
+    const auto& t = dev.timing();
+    for (int i = 0; i < 3; ++i) {
+        bus.issueCommand(host, {Ddr4Op::Activate, 0, 0, 0, 0});
+        eq.runUntil(eq.now() + t.tCK);
+    }
+    // Ring holds the last two commands; the total keeps counting.
+    EXPECT_EQ(tracer.entries().size(), 2u);
+    EXPECT_EQ(tracer.totalObserved(), 3u);
+
+    tracer.clearEntries();
+    EXPECT_TRUE(tracer.entries().empty());
+    EXPECT_EQ(tracer.totalObserved(), 3u);
+
+    bus.issueCommand(host, {Ddr4Op::Activate, 0, 0, 0, 0});
+    EXPECT_EQ(tracer.totalObserved(), 4u);
+
+    // Full clear() also zeroes the running total — it used to leave
+    // the stale count from the discarded epoch behind.
+    tracer.clear();
+    EXPECT_TRUE(tracer.entries().empty());
+    EXPECT_EQ(tracer.totalObserved(), 0u);
 }
 
 } // namespace

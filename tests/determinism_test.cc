@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 #include <vector>
 
+#include "common/trace.hh"
 #include "core/system.hh"
 #include "workload/fio.hh"
 
@@ -70,6 +72,23 @@ TEST(Determinism, DifferentSeedsDiverge)
     std::string a = runFingerprint(7);
     std::string b = runFingerprint(8);
     EXPECT_NE(a, b);
+}
+
+TEST(Determinism, TracingDoesNotPerturbTheRun)
+{
+    // The tracer is an observer: capturing a Chrome trace of a run
+    // must leave every event count and statistic byte-identical to
+    // the untraced run.
+    std::string off = runFingerprint(7);
+
+    const char* path = "determinism_trace_tmp.json";
+    trace::start(path);
+    std::string on = runFingerprint(7);
+    EXPECT_GT(trace::eventCount(), 0u);
+    trace::stop();
+    std::remove(path);
+
+    EXPECT_EQ(off, on);
 }
 
 TEST(Determinism, FioJobIsRepeatable)
