@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -47,6 +48,9 @@ report(benchmark::State& state, const workload::FioResult& res,
  *      --stats[=path]   append one JSON line per benchmark with the
  *                       system's full hierarchical stat dump
  *                       (default stats.jsonl).
+ *      --channels=N     build every system with N memory channels
+ *                       (N complete NVDIMM-C modules, page-interleaved;
+ *                       default 1 = the PoC machine).
  */
 struct Observability
 {
@@ -83,6 +87,10 @@ initObservability(int* argc, char** argv)
             obs.statsPath = "stats.jsonl";
         } else if (std::strncmp(a, "--stats=", 8) == 0) {
             obs.statsPath = a + 8;
+        } else if (std::strncmp(a, "--channels=", 11) == 0) {
+            int n = std::atoi(a + 11);
+            if (n >= 1)
+                benchChannels() = static_cast<std::uint32_t>(n);
         } else {
             argv[out++] = argv[i];
         }

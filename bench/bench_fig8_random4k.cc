@@ -41,7 +41,9 @@ BM_Baseline(benchmark::State& state, FioConfig::Pattern pattern,
 {
     workload::FioResult res;
     for (auto _ : state) {
-        core::BaselineSystem sys(core::BaselineConfig::scaledBench());
+        core::BaselineConfig bl = core::BaselineConfig::scaledBench();
+        bl.channels = benchChannels();
+        core::BaselineSystem sys(bl);
         FioConfig cfg = baseCfg(pattern);
         cfg.regionBytes = 2 * kGiB;
         res = runFio(sys.eq(), pmemAccess(sys), cfg);
@@ -91,6 +93,36 @@ BM_NvdcUncached(benchmark::State& state, FioConfig::Pattern pattern,
     report(state, res, paper_mbps, paper_kiops);
 }
 
+/**
+ * Channel-scaling companion to Fig 8: many threads driving random 4 KB
+ * accesses so the *aggregate* bandwidth is bound by per-channel
+ * resources (driver lock, iMC queues), not by one thread's QD1
+ * latency. Run with --channels=N to scale the topology; with the
+ * per-channel driver locks, aggregate bandwidth scales near-linearly
+ * until the CPU side saturates.
+ */
+void
+BM_NvdcCachedAggregate(benchmark::State& state,
+                       FioConfig::Pattern pattern)
+{
+    workload::FioResult res;
+    for (auto _ : state) {
+        auto sys = makeCachedSystem();
+        FioConfig cfg = baseCfg(pattern);
+        cfg.threads = 16;
+        cfg.regionBytes = cachedRegionBytes(*sys);
+        res = runFio(sys->eq(), nvdcAccess(*sys), cfg);
+        if (!sys->hardwareClean())
+            state.SkipWithError("bus conflict detected");
+        writeSystemStats(std::string("BM_NvdcCachedAggregate/") +
+                             patternTag(pattern),
+                         *sys);
+    }
+    report(state, res, 0.0, 0.0);
+    state.counters["channels"] =
+        static_cast<double>(benchChannels());
+}
+
 // Paper Fig 8 reported values: baseline 2606/2360 MB/s and 646/576
 // KIOPS; cached 1835/1796 MB/s, 448/438 KIOPS; uncached 57.3/58.3
 // MB/s, 13/14.2 KIOPS.
@@ -111,6 +143,12 @@ BENCHMARK_CAPTURE(BM_NvdcUncached, rand_read_4k,
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_NvdcUncached, rand_write_4k,
                   FioConfig::Pattern::RandWrite, 58.3, 14.2)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_NvdcCachedAggregate, rand_read_4k,
+                  FioConfig::Pattern::RandRead)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_NvdcCachedAggregate, rand_write_4k,
+                  FioConfig::Pattern::RandWrite)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -24,6 +24,18 @@
 namespace nvdimmc::bench
 {
 
+/**
+ * Channel count every bench system is built with (the --channels=N
+ * knob; bench_common.hh's initObservability sets it, sweep_runner sets
+ * it per point). Default 1 = the PoC machine.
+ */
+inline std::uint32_t&
+benchChannels()
+{
+    static std::uint32_t channels = 1;
+    return channels;
+}
+
 /** Device access function over an NVDIMM-C system (timing-only). */
 inline workload::AccessFn
 nvdcAccess(core::NvdimmcSystem& sys)
@@ -59,11 +71,13 @@ inline std::unique_ptr<core::NvdimmcSystem>
 makeCachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
 {
     core::SystemConfig cfg = core::SystemConfig::scaledBench();
+    cfg.channels = benchChannels();
     if (tweak)
         tweak(cfg);
     auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
-    std::uint32_t slots = sys->layout().slotCount();
-    sys->precondition(0, slots - 64, true);
+    // Leave 64 slots per channel free so hits never evict.
+    std::uint32_t slots = sys->totalSlotCount();
+    sys->precondition(0, slots - 64 * sys->channelCount(), true);
     return sys;
 }
 
@@ -71,7 +85,9 @@ makeCachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
 inline std::uint64_t
 cachedRegionBytes(core::NvdimmcSystem& sys)
 {
-    return std::uint64_t{sys.layout().slotCount() - 64} * 4096;
+    return std::uint64_t{sys.totalSlotCount() -
+                         64 * sys.channelCount()} *
+           4096;
 }
 
 /**
@@ -83,14 +99,16 @@ inline std::unique_ptr<core::NvdimmcSystem>
 makeUncachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
 {
     core::SystemConfig cfg = core::SystemConfig::scaledBench();
+    cfg.channels = benchChannels();
     if (tweak)
         tweak(cfg);
     auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
-    sys->precondition(0, sys->layout().slotCount(), true);
+    sys->precondition(0, sys->totalSlotCount(), true);
     // The paper's uncached experiments run on a device whose blocks
     // all hold data (FIO preconditions the file), so every fill is a
     // real NAND cachefill.
-    sys->driver().markEverWritten(0, sys->backend().pageCount());
+    sys->driver().markEverWritten(
+        0, sys->driver().capacityBytes() / 4096);
     return sys;
 }
 
@@ -98,7 +116,9 @@ makeUncachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
 inline std::pair<Addr, std::uint64_t>
 uncachedRegion(core::NvdimmcSystem& sys)
 {
-    Addr base = std::uint64_t{sys.layout().slotCount() + 128} * 4096;
+    Addr base = std::uint64_t{sys.totalSlotCount() +
+                              128 * sys.channelCount()} *
+                4096;
     return {base, sys.driver().capacityBytes() - base};
 }
 

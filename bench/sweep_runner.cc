@@ -11,7 +11,7 @@
  * results.
  *
  * Usage:
- *   sweep_runner [--sweep ablation|variants|cache_policy|all]
+ *   sweep_runner [--sweep ablation|variants|cache_policy|channels|all]
  *                [--jobs N] [--json FILE] [--verify] [--list]
  */
 
@@ -95,6 +95,12 @@ appendSystemStats(PointResult& out, const core::NvdimmcSystem& sys)
             if (name == want)
                 out.metrics.emplace_back(name, value);
         }
+        // Per-channel refresh overhead (ch<i>.imc.refresh.overhead_pct)
+        // only exists on multi-channel topologies; report it so the
+        // channels sweep shows the stagger across modules.
+        if (name.rfind("ch", 0) == 0 &&
+            name.find(".imc.refresh.overhead_pct") != std::string::npos)
+            out.metrics.emplace_back(name, value);
     }
 }
 
@@ -316,6 +322,48 @@ makeCachePolicySweep()
 }
 
 /**
+ * One point of the channel-scaling sweep: an N-module topology under a
+ * cached random 4 KB FIO load with enough threads that aggregate
+ * bandwidth is bound by per-channel resources, not one thread's QD1
+ * latency. The channel count travels through the config tweak (not the
+ * benchChannels() global) so points are safe to run concurrently.
+ */
+PointResult
+runChannelsPoint(std::uint32_t channels, FioConfig::Pattern pattern)
+{
+    auto sys = makeCachedSystem([channels](core::SystemConfig& c) {
+        c.channels = channels;
+    });
+    FioConfig cfg;
+    cfg.pattern = pattern;
+    cfg.blockSize = 4096;
+    cfg.threads = 8;
+    cfg.regionBytes = cachedRegionBytes(*sys);
+    cfg.rampTime = 2 * kMs;
+    cfg.runTime = 25 * kMs;
+    PointResult out = fioPoint(runFio(sys->eq(), nvdcAccess(*sys), cfg));
+    appendSystemStats(out, *sys);
+    return out;
+}
+
+Sweep
+makeChannelsSweep()
+{
+    Sweep sweep{"channels", {}};
+    for (std::uint32_t n : {1u, 2u, 4u}) {
+        for (auto [pattern, tag] :
+             {std::pair{FioConfig::Pattern::RandRead, "rand_read"},
+              std::pair{FioConfig::Pattern::RandWrite, "rand_write"}}) {
+            sweep.points.push_back(
+                {std::to_string(n) + "ch/" + tag, [n, pattern] {
+                     return runChannelsPoint(n, pattern);
+                 }});
+        }
+    }
+    return sweep;
+}
+
+/**
  * Run every point of @p sweep on @p jobs worker threads. Points are
  * claimed from an atomic counter and results land in a slot indexed
  * by point, so the output order (and content) never depends on
@@ -430,7 +478,7 @@ sweepMain(int argc, char** argv)
         } else if (arg == "--list") {
             for (const Sweep& sweep :
                  {makeAblationSweep(), makeVariantsSweep(),
-                  makeCachePolicySweep()}) {
+                  makeCachePolicySweep(), makeChannelsSweep()}) {
                 for (const auto& point : sweep.points)
                     std::cout << sweep.name << "/" << point.name
                               << "\n";
@@ -439,7 +487,8 @@ sweepMain(int argc, char** argv)
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: sweep_runner"
-                   " [--sweep ablation|variants|cache_policy|all]\n"
+                   " [--sweep ablation|variants|cache_policy|channels"
+                   "|all]\n"
                    "                    [--jobs N] [--json FILE]"
                    " [--verify] [--list]\n";
             return 0;
@@ -463,6 +512,8 @@ sweepMain(int argc, char** argv)
         sweeps.push_back(makeVariantsSweep());
     if (want("cache_policy"))
         sweeps.push_back(makeCachePolicySweep());
+    if (want("channels"))
+        sweeps.push_back(makeChannelsSweep());
     if (sweeps.empty())
         fatal("no sweep matches ", wanted.front());
 

@@ -5,7 +5,13 @@
  * host iMC traffic, REFRESH commands, and the NVMC's window-gated
  * accesses — paper Fig 2b, live.
  *
- *   $ ./examples/bus_inspector
+ *   $ ./examples/bus_inspector [--channels=N]
+ *
+ * With more than one channel the run drives every module (host reads
+ * plus one uncached write per channel) and ends with a per-channel
+ * table of commands, refreshes, conflicts, and DRAM protocol
+ * violations, so a staggered-refresh topology can be eyeballed: the
+ * channels' REF ticks should not line up.
  *
  * With `--trace out.json` the run is also captured as a Chrome
  * trace_event file (open in https://ui.perfetto.dev): refresh windows,
@@ -13,7 +19,9 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/trace.hh"
@@ -24,7 +32,7 @@ using namespace nvdimmc;
 namespace
 {
 
-/** Records (tick, op) for every driven CA frame. */
+/** Records (tick, op) for every driven CA frame on one channel. */
 struct TraceSnooper : public bus::CaSnooper
 {
     struct Entry
@@ -34,11 +42,15 @@ struct TraceSnooper : public bus::CaSnooper
     };
 
     std::vector<Entry> entries;
+    std::uint64_t refreshes = 0;
 
     void
     observeFrame(const dram::CaFrame& frame, Tick now) override
     {
-        entries.push_back({now, dram::decodeFrame(frame).op});
+        dram::Ddr4Op op = dram::decodeFrame(frame).op;
+        if (op == dram::Ddr4Op::Refresh)
+            ++refreshes;
+        entries.push_back({now, op});
     }
 };
 
@@ -48,14 +60,23 @@ int
 main(int argc, char** argv)
 {
     const char* trace_path = nullptr;
+    std::uint32_t channels = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
             trace_path = argv[i] + 8;
+        } else if (std::strncmp(argv[i], "--channels=", 11) == 0) {
+            int n = std::atoi(argv[i] + 11);
+            if (n < 1) {
+                std::fprintf(stderr, "bad --channels value\n");
+                return 1;
+            }
+            channels = static_cast<std::uint32_t>(n);
         } else {
             std::fprintf(stderr,
-                         "usage: bus_inspector [--trace out.json]\n");
+                         "usage: bus_inspector [--channels=N]"
+                         " [--trace out.json]\n");
             return 1;
         }
     }
@@ -63,38 +84,50 @@ main(int argc, char** argv)
         nvdimmc::trace::start(trace_path);
 
     core::SystemConfig cfg = core::SystemConfig::scaledTest();
+    cfg.channels = channels;
     core::NvdimmcSystem sys(cfg);
 
-    TraceSnooper trace;
-    sys.bus().addSnooper(&trace);
-
-    // Start an uncached write so the NVMC has real work (writeback +
-    // cachefill over the CP area), plus some host read traffic.
-    sys.precondition(8, sys.layout().slotCount() - 8, true);
-    sys.driver().markEverWritten(0, 64);
-    bool done = false;
-    sys.driver().write(0, 4096, nullptr, [&] { done = true; });
-
-    int hammer = 2000;
-    std::function<void()> host_traffic = [&] {
-        if (--hammer <= 0)
-            return;
-        sys.imc().readLine(
-            sys.layout().slotAddr(9) +
-                (static_cast<Addr>(hammer) % 32) * 64,
-            nullptr, host_traffic);
-    };
-    host_traffic();
-
-    while (!done && sys.eq().runOne()) {
+    std::vector<std::unique_ptr<TraceSnooper>> snoops;
+    for (std::uint32_t c = 0; c < sys.channelCount(); ++c) {
+        snoops.push_back(std::make_unique<TraceSnooper>());
+        sys.channel(c).bus().addSnooper(snoops.back().get());
     }
 
-    // Print a window's worth of commands around each of the first
-    // few REFRESHes.
+    // Start an uncached write per channel so every NVMC has real work
+    // (writeback + cachefill over its CP area), plus host read traffic
+    // on each module. Pages 0..N-1 land round-robin on channels 0..N-1.
+    sys.precondition(8 * channels,
+                     sys.totalSlotCount() - 8 * channels, true);
+    sys.driver().markEverWritten(0, 64 * channels);
+    std::uint32_t pending = channels;
+    for (std::uint32_t c = 0; c < channels; ++c)
+        sys.driver().write(static_cast<Addr>(c) * 4096, 4096, nullptr,
+                           [&pending] { --pending; });
+
+    std::vector<int> hammer(channels, 2000);
+    std::vector<std::function<void()>> host_traffic(channels);
+    for (std::uint32_t c = 0; c < channels; ++c) {
+        host_traffic[c] = [&, c] {
+            if (--hammer[c] <= 0)
+                return;
+            sys.channel(c).imc().readLine(
+                sys.channel(c).layout().slotAddr(9) +
+                    (static_cast<Addr>(hammer[c]) % 32) * 64,
+                nullptr, host_traffic[c]);
+        };
+        host_traffic[c]();
+    }
+
+    while (pending > 0 && sys.eq().runOne()) {
+    }
+
+    // Print a window's worth of channel-0 commands around each of the
+    // first few REFRESHes (the other channels look the same, shifted
+    // by their refresh phase).
     std::printf("%-12s %-6s  note\n", "tick (us)", "cmd");
     int refreshes_shown = 0;
     Tick window_end = 0;
-    for (const auto& e : trace.entries) {
+    for (const auto& e : snoops[0]->entries) {
         bool is_ref = e.op == dram::Ddr4Op::Refresh;
         if (is_ref) {
             if (++refreshes_shown > 3)
@@ -114,14 +147,51 @@ main(int argc, char** argv)
                     dram::toString(e.op), note);
     }
 
-    std::printf("\ncommands driven: host=%llu nvmc=%llu, "
-                "conflicts=%llu\n",
-                static_cast<unsigned long long>(
-                    sys.bus().commandCount(0)),
-                static_cast<unsigned long long>(
-                    sys.bus().commandCount(1)),
-                static_cast<unsigned long long>(
-                    sys.bus().conflictCount()));
+    // With staggered refresh the channels' first REF ticks differ by
+    // tREFI/N; show them so the stagger is visible at a glance.
+    if (channels > 1) {
+        std::printf("\nfirst REFRESH per channel:\n");
+        for (std::uint32_t c = 0; c < channels; ++c) {
+            for (const auto& e : snoops[c]->entries) {
+                if (e.op == dram::Ddr4Op::Refresh) {
+                    std::printf("  ch%u: %.3f us\n", c,
+                                ticksToUs(e.tick));
+                    break;
+                }
+            }
+        }
+    }
+
+    std::printf("\n%-8s %10s %10s %10s %10s %10s\n", "channel",
+                "host_cmds", "nvmc_cmds", "refreshes", "conflicts",
+                "violations");
+    std::uint64_t tot_host = 0, tot_nvmc = 0, tot_ref = 0,
+                  tot_conf = 0, tot_viol = 0;
+    for (std::uint32_t c = 0; c < sys.channelCount(); ++c) {
+        const core::Channel& chan = sys.channel(c);
+        std::uint64_t host = chan.bus().commandCount(0);
+        std::uint64_t nvmc = chan.bus().commandCount(1);
+        std::uint64_t refs = snoops[c]->refreshes;
+        std::uint64_t conf = chan.bus().conflictCount();
+        std::uint64_t viol = chan.dram().violations().size();
+        std::printf("ch%-6u %10llu %10llu %10llu %10llu %10llu\n", c,
+                    static_cast<unsigned long long>(host),
+                    static_cast<unsigned long long>(nvmc),
+                    static_cast<unsigned long long>(refs),
+                    static_cast<unsigned long long>(conf),
+                    static_cast<unsigned long long>(viol));
+        tot_host += host;
+        tot_nvmc += nvmc;
+        tot_ref += refs;
+        tot_conf += conf;
+        tot_viol += viol;
+    }
+    std::printf("%-8s %10llu %10llu %10llu %10llu %10llu\n", "total",
+                static_cast<unsigned long long>(tot_host),
+                static_cast<unsigned long long>(tot_nvmc),
+                static_cast<unsigned long long>(tot_ref),
+                static_cast<unsigned long long>(tot_conf),
+                static_cast<unsigned long long>(tot_viol));
 
     if (trace_path) {
         std::uint64_t events = nvdimmc::trace::eventCount();

@@ -10,31 +10,42 @@ simulatePowerFailure(NvdimmcSystem& sys, const PowerFailureScenario& sc)
 {
     PowerFailureReport report;
 
-    if (!sys.nvmc()) {
+    bool any_nvmc = false;
+    for (std::uint32_t c = 0; c < sys.channelCount(); ++c)
+        if (sys.channel(c).nvmc())
+            any_nvmc = true;
+    if (!any_nvmc) {
         warn("power failure on a system without an NVMC: nothing "
              "can be dumped");
     }
+
+    // Every channel's module dies with the host; the ADR flush and the
+    // firmware dumps run on each channel and sum into the report.
+    auto dump_all = [&] {
+        for (std::uint32_t c = 0; c < sys.channelCount(); ++c)
+            if (auto* nvmc = sys.channel(c).nvmc())
+                report.pagesDumped += nvmc->firmware().powerFailDump();
+    };
+    auto drain_wpqs = [&] {
+        for (std::uint32_t c = 0; c < sys.channelCount(); ++c) {
+            if (sc.adrWorks)
+                report.wpqFlushed += sys.channel(c).imc().adrFlushWpq();
+            else
+                report.wpqLost += sys.channel(c).imc().dropWpq();
+        }
+    };
 
     if (sc.raceWindow) {
         // Dump first: WPQ stores lose the race and are invisible to
         // the firmware even though ADR technically saved them into
         // DRAM afterwards.
-        if (sys.nvmc())
-            report.pagesDumped = sys.nvmc()->firmware().powerFailDump();
-        if (sc.adrWorks)
-            report.wpqFlushed = sys.imc().adrFlushWpq();
-        else
-            report.wpqLost = sys.imc().dropWpq();
+        dump_all();
+        drain_wpqs();
         return report;
     }
 
-    if (sc.adrWorks)
-        report.wpqFlushed = sys.imc().adrFlushWpq();
-    else
-        report.wpqLost = sys.imc().dropWpq();
-
-    if (sys.nvmc())
-        report.pagesDumped = sys.nvmc()->firmware().powerFailDump();
+    drain_wpqs();
+    dump_all();
 
     return report;
 }

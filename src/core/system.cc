@@ -1,93 +1,97 @@
 #include "core/system.hh"
 
 #include <array>
+#include <string>
 
 #include "common/logging.hh"
-#include "nvm/pram.hh"
-#include "nvm/sttmram.hh"
 
 namespace nvdimmc::core
 {
 
 NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
 {
-    map_ = std::make_unique<dram::AddressMap>(cfg.dramCacheBytes);
-    dram_ = std::make_unique<dram::DramDevice>(
-        *map_, cfg.dramTiming, cfg.storeData, cfg.strictHardware);
-    bus_ = std::make_unique<bus::MemoryBus>(eq_, *dram_,
-                                            cfg.strictHardware);
-
-    imc::ImcConfig imc_cfg = cfg.imc;
-    imc_cfg.refresh = cfg.refresh;
-    imc_ = std::make_unique<imc::Imc>(eq_, *bus_, imc_cfg);
-
-    switch (cfg.media) {
-      case MediaKind::ZNand: {
-        znand_ = std::make_unique<nvm::ZNand>(eq_, cfg.znand);
-        ftl_ = std::make_unique<ftl::Ftl>(eq_, *znand_, cfg.ftl);
-        backend_ = ftl_.get();
-        break;
-      }
-      case MediaKind::Pram:
-        simpleMedia_ = std::make_unique<nvm::Pram>(eq_, cfg.mediaBytes);
-        directBackend_ =
-            std::make_unique<nvm::DirectBackend>(*simpleMedia_);
-        backend_ = directBackend_.get();
-        break;
-      case MediaKind::SttMram:
-        simpleMedia_ =
-            std::make_unique<nvm::SttMram>(eq_, cfg.mediaBytes);
-        directBackend_ =
-            std::make_unique<nvm::DirectBackend>(*simpleMedia_);
-        backend_ = directBackend_.get();
-        break;
-      case MediaKind::Delay:
-        delayMedia_ = std::make_unique<nvm::DelayMedia>(
-            eq_, cfg.mediaBytes, cfg.delayMediaLatency);
-        directBackend_ =
-            std::make_unique<nvm::DirectBackend>(*delayMedia_);
-        backend_ = directBackend_.get();
-        break;
+    NVDC_ASSERT(cfg_.channels >= 1, "system needs at least one channel");
+    if (cfg_.channels > 1 &&
+        cfg_.interleaveGranule != dram::ChannelInterleave::kPageGranule) {
+        // An NVDIMM-C module's NVMC can only DMA into its own DRAM, so
+        // a cache slot must live whole on one channel: the DAX region
+        // always interleaves at page granularity.
+        warn("NvdimmcSystem: interleave granule ",
+             cfg_.interleaveGranule,
+             " unsupported with NVDIMM-C modules; clamping to 4096");
+        cfg_.interleaveGranule = dram::ChannelInterleave::kPageGranule;
     }
 
-    if (cfg.driver.cpQueueDepth != cfg.nvmc.firmware.cpQueueDepth) {
+    if (cfg_.driver.cpQueueDepth != cfg_.nvmc.firmware.cpQueueDepth) {
         warn("NvdimmcSystem: driver CP depth (",
-             cfg.driver.cpQueueDepth, ") != firmware CP depth (",
-             cfg.nvmc.firmware.cpQueueDepth,
+             cfg_.driver.cpQueueDepth, ") != firmware CP depth (",
+             cfg_.nvmc.firmware.cpQueueDepth,
              ") — commands on the unpolled slots will never be acked");
     }
-    std::uint32_t cp_depth =
-        std::max(cfg.driver.cpQueueDepth, cfg.nvmc.firmware.cpQueueDepth);
-    layout_ = std::make_unique<nvmc::ReservedLayout>(cfg.dramCacheBytes,
-                                                     cp_depth);
+    std::uint32_t cp_depth = std::max(cfg_.driver.cpQueueDepth,
+                                      cfg_.nvmc.firmware.cpQueueDepth);
 
-    if (cfg.nvmcEnabled) {
-        nvmc::NvmcConfig nvmc_cfg = cfg.nvmc;
-        nvmc_cfg.programmedRefresh = cfg.refresh;
-        nvmc_ = std::make_unique<nvmc::Nvmc>(eq_, *bus_, *backend_,
-                                             *layout_, nvmc_cfg);
-    }
+    channels_.reserve(cfg_.channels);
+    for (std::uint32_t i = 0; i < cfg_.channels; ++i)
+        channels_.push_back(std::make_unique<Channel>(
+            eq_, cfg_, i, cfg_.channels, cp_depth));
 
-    cpuCache_ =
-        std::make_unique<cpu::CpuCacheModel>(eq_, *imc_, cfg.cpuCache);
+    std::vector<imc::Imc*> imcs;
+    imcs.reserve(channels_.size());
+    for (auto& ch : channels_)
+        imcs.push_back(&ch->imc());
+    hostPort_ = std::make_unique<imc::HostPort>(
+        std::move(imcs), dram::ChannelInterleave(
+                             cfg_.channels,
+                             dram::ChannelInterleave::kPageGranule));
+
+    cpuCache_ = std::make_unique<cpu::CpuCacheModel>(eq_, *hostPort_,
+                                                     cfg_.cpuCache);
     engine_ = std::make_unique<cpu::MemcpyEngine>(
-        eq_, *imc_, cpuCache_.get(), cfg.memcpy);
+        eq_, *hostPort_, cpuCache_.get(), cfg_.memcpy);
+
+    std::vector<const nvmc::ReservedLayout*> layouts;
+    std::uint64_t backend_pages = 0;
+    layouts.reserve(channels_.size());
+    for (auto& ch : channels_) {
+        layouts.push_back(&ch->layout());
+        backend_pages += ch->backend().pageCount();
+    }
     driver_ = std::make_unique<driver::NvdcDriver>(
-        eq_, *cpuCache_, *engine_, *layout_, backend_->pageCount(),
-        cfg.driver);
+        eq_, *cpuCache_, *engine_, std::move(layouts), backend_pages,
+        cfg_.driver);
+}
+
+std::uint32_t
+NvdimmcSystem::totalSlotCount() const
+{
+    std::uint32_t total = 0;
+    for (const auto& ch : channels_)
+        total += ch->layout().slotCount();
+    return total;
 }
 
 void
 NvdimmcSystem::precondition(std::uint64_t first_page,
                             std::uint32_t pages, bool dirty)
 {
-    auto& cache = driver_->cache();
     auto& pt = driver_->pageTable();
-    NVDC_ASSERT(pages <= cache.slotCount() - cache.usedSlots(),
-                "preconditioning more pages than free slots");
+
+    // Check capacity per channel slice before touching anything.
+    std::vector<std::uint32_t> demand(channels_.size(), 0);
+    for (std::uint32_t i = 0; i < pages; ++i)
+        ++demand[driver_->channelOf(first_page + i)];
+    for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+        auto& cache = driver_->cache(c);
+        NVDC_ASSERT(demand[c] <=
+                        cache.slotCount() - cache.usedSlots(),
+                    "preconditioning more pages than free slots");
+    }
 
     for (std::uint32_t i = 0; i < pages; ++i) {
         std::uint64_t dev_page = first_page + i;
+        std::uint32_t c = driver_->channelOf(dev_page);
+        auto& cache = driver_->cache(c);
         std::uint32_t slot = cache.allocate(dev_page);
         cache.finishFill(slot);
         if (dirty)
@@ -96,8 +100,9 @@ NvdimmcSystem::precondition(std::uint64_t first_page,
 
         // Keep the in-DRAM metadata consistent (the firmware's
         // power-fail dump reads it from the array).
+        Channel& chan = *channels_[c];
         std::uint32_t first = (slot / 4) * 4;
-        Addr addr = layout_->metadataAddr(first);
+        Addr addr = chan.layout().metadataAddr(first);
         std::array<std::uint8_t, 64> line{};
         for (std::uint32_t j = 0; j < 4; ++j) {
             std::uint32_t s = first + j;
@@ -110,40 +115,197 @@ NvdimmcSystem::precondition(std::uint64_t first_page,
             m.dirty = cs.dirty;
             nvmc::encodeSlotMetadata(m, line.data() + j * 16);
         }
-        dram_->writeBurst(map_->decompose(addr), line.data());
+        chan.dram().writeBurst(chan.map().decompose(addr), line.data());
     }
 }
 
 void
 NvdimmcSystem::registerStats(StatRegistry& reg) const
 {
-    dram_->registerStats(reg, "dram");
-    bus_->registerStats(reg, "bus");
-    imc_->registerStats(reg, "imc");
+    if (channels_.size() == 1) {
+        // The legacy single-channel namespace, bit-for-bit.
+        const Channel& ch = *channels_[0];
+        ch.dram().registerStats(reg, "dram");
+        ch.bus().registerStats(reg, "bus");
+        ch.imc().registerStats(reg, "imc");
+        cpuCache_->registerStats(reg, "cpu");
+        driver_->registerStats(reg, "nvdc");
+
+        // Flat aliases predating the hierarchical names; sweep scripts
+        // and the snapshot tests key on these.
+        const auto& cache_stats = driver_->cache().stats();
+        reg.addCounter("cache.hits", cache_stats.hits);
+        reg.addCounter("cache.misses", cache_stats.misses);
+        reg.add("cache.hit_rate",
+                [this] { return driver_->cache().stats().hitRate(); });
+
+        if (ch.nvmc()) {
+            ch.nvmc()->registerStats(reg, "nvmc");
+            const auto& fw = ch.nvmc()->firmware().stats();
+            reg.addCounter("fw.cp_polls", fw.cpPolls);
+            reg.addCounter("fw.commands", fw.commandsAccepted);
+            reg.addCounter("fw.acks", fw.acksWritten);
+            reg.add("fw.op_latency_mean_us", [this] {
+                return channels_[0]
+                           ->nvmc()
+                           ->firmware()
+                           .stats()
+                           .opLatency.mean() /
+                       1e6;
+            });
+        }
+        if (ch.ftl()) {
+            ch.ftl()->registerStats(reg, "ftl");
+            ch.znand()->registerStats(reg, "znand");
+        }
+        return;
+    }
+
+    // Multi-channel: per-channel hardware under ch<i>.*, aggregates
+    // under the legacy un-prefixed names so sweep tooling keeps
+    // working across channel counts.
+    for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+        const Channel& ch = *channels_[i];
+        std::string p = "ch" + std::to_string(i) + ".";
+        ch.dram().registerStats(reg, p + "dram");
+        ch.bus().registerStats(reg, p + "bus");
+        ch.imc().registerStats(reg, p + "imc");
+    }
+    reg.add("dram.refreshes", [this] {
+        double v = 0;
+        for (const auto& ch : channels_)
+            v += static_cast<double>(
+                ch->dram().stats().refreshes.value());
+        return v;
+    });
+    // Worst-case host stall: the acceptance metric for refresh
+    // staggering is the *max* across channels, not the mean.
+    reg.add("imc.refresh.overhead_pct", [this] {
+        Tick now = eq_.now();
+        if (now == 0)
+            return 0.0;
+        double worst = 0;
+        for (const auto& ch : channels_) {
+            double pct =
+                100.0 *
+                static_cast<double>(
+                    ch->imc().stats().refreshBlockedTicks.value()) /
+                static_cast<double>(now);
+            if (pct > worst)
+                worst = pct;
+        }
+        return worst;
+    });
+
     cpuCache_->registerStats(reg, "cpu");
     driver_->registerStats(reg, "nvdc");
 
-    // Flat aliases predating the hierarchical names; sweep scripts and
-    // the snapshot tests key on these.
-    const auto& cache_stats = driver_->cache().stats();
-    reg.addCounter("cache.hits", cache_stats.hits);
-    reg.addCounter("cache.misses", cache_stats.misses);
-    reg.add("cache.hit_rate",
-            [this] { return driver_->cache().stats().hitRate(); });
+    reg.add("cache.hits", [this] {
+        double v = 0;
+        for (std::uint32_t c = 0; c < driver_->channelCount(); ++c)
+            v += static_cast<double>(
+                driver_->cache(c).stats().hits.value());
+        return v;
+    });
+    reg.add("cache.misses", [this] {
+        double v = 0;
+        for (std::uint32_t c = 0; c < driver_->channelCount(); ++c)
+            v += static_cast<double>(
+                driver_->cache(c).stats().misses.value());
+        return v;
+    });
+    reg.add("cache.hit_rate", [this] {
+        double hits = 0, misses = 0;
+        for (std::uint32_t c = 0; c < driver_->channelCount(); ++c) {
+            hits += static_cast<double>(
+                driver_->cache(c).stats().hits.value());
+            misses += static_cast<double>(
+                driver_->cache(c).stats().misses.value());
+        }
+        double total = hits + misses;
+        return total == 0 ? 0.0 : hits / total;
+    });
 
-    if (nvmc_) {
-        nvmc_->registerStats(reg, "nvmc");
-        const auto& fw = nvmc_->firmware().stats();
-        reg.addCounter("fw.cp_polls", fw.cpPolls);
-        reg.addCounter("fw.commands", fw.commandsAccepted);
-        reg.addCounter("fw.acks", fw.acksWritten);
+    bool any_nvmc = false;
+    for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+        const Channel& ch = *channels_[i];
+        if (!ch.nvmc())
+            continue;
+        any_nvmc = true;
+        ch.nvmc()->registerStats(reg,
+                                 "ch" + std::to_string(i) + ".nvmc");
+    }
+    if (any_nvmc) {
+        reg.add("nvmc.dma.bytes_moved", [this] {
+            double v = 0;
+            for (const auto& ch : channels_)
+                if (ch->nvmc())
+                    v += static_cast<double>(
+                        ch->nvmc()->dma().stats().bytesMoved.value());
+            return v;
+        });
+        reg.add("nvmc.window.utilization_pct", [this] {
+            double used = 0, open = 0;
+            for (const auto& ch : channels_) {
+                if (!ch->nvmc())
+                    continue;
+                used += static_cast<double>(
+                    ch->nvmc()->dma().stats().busyTicks.value());
+                open += static_cast<double>(
+                    ch->nvmc()->windowTicksGranted());
+            }
+            return open == 0 ? 0.0 : 100.0 * used / open;
+        });
+        reg.add("fw.cp_polls", [this] {
+            double v = 0;
+            for (const auto& ch : channels_)
+                if (ch->nvmc())
+                    v += static_cast<double>(
+                        ch->nvmc()->firmware().stats().cpPolls.value());
+            return v;
+        });
+        reg.add("fw.commands", [this] {
+            double v = 0;
+            for (const auto& ch : channels_)
+                if (ch->nvmc())
+                    v += static_cast<double>(ch->nvmc()
+                                                 ->firmware()
+                                                 .stats()
+                                                 .commandsAccepted
+                                                 .value());
+            return v;
+        });
+        reg.add("fw.acks", [this] {
+            double v = 0;
+            for (const auto& ch : channels_)
+                if (ch->nvmc())
+                    v += static_cast<double>(ch->nvmc()
+                                                 ->firmware()
+                                                 .stats()
+                                                 .acksWritten.value());
+            return v;
+        });
         reg.add("fw.op_latency_mean_us", [this] {
-            return nvmc_->firmware().stats().opLatency.mean() / 1e6;
+            double sum = 0;
+            std::uint64_t count = 0;
+            for (const auto& ch : channels_) {
+                if (!ch->nvmc())
+                    continue;
+                const auto& h = ch->nvmc()->firmware().stats().opLatency;
+                sum += h.mean() * static_cast<double>(h.count());
+                count += h.count();
+            }
+            return count == 0 ? 0.0
+                              : sum / static_cast<double>(count) / 1e6;
         });
     }
-    if (ftl_) {
-        ftl_->registerStats(reg, "ftl");
-        znand_->registerStats(reg, "znand");
+    for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+        const Channel& ch = *channels_[i];
+        if (!ch.ftl())
+            continue;
+        std::string p = "ch" + std::to_string(i) + ".";
+        ch.ftl()->registerStats(reg, p + "ftl");
+        ch.znand()->registerStats(reg, p + "znand");
     }
 }
 
@@ -166,27 +328,51 @@ NvdimmcSystem::dumpStatsJson(std::ostream& os) const
 bool
 NvdimmcSystem::hardwareClean() const
 {
-    return bus_->conflictCount() == 0 &&
-           dram_->stats().violations.value() == 0;
+    for (const auto& ch : channels_) {
+        if (ch->bus().conflictCount() != 0 ||
+            ch->dram().stats().violations.value() != 0)
+            return false;
+    }
+    return true;
 }
 
 BaselineSystem::BaselineSystem(const BaselineConfig& cfg) : cfg_(cfg)
 {
-    map_ = std::make_unique<dram::AddressMap>(cfg.capacityBytes);
-    dram_ = std::make_unique<dram::DramDevice>(*map_, cfg.dramTiming,
-                                               cfg.storeData, false);
-    bus_ = std::make_unique<bus::MemoryBus>(eq_, *dram_, false);
+    NVDC_ASSERT(cfg_.channels >= 1, "system needs at least one channel");
+    NVDC_ASSERT(cfg_.interleaveGranule ==
+                        dram::ChannelInterleave::kPageGranule ||
+                    cfg_.interleaveGranule ==
+                        dram::ChannelInterleave::kLineGranule,
+                "baseline interleave granule must be 4096 or 256");
+    for (std::uint32_t i = 0; i < cfg_.channels; ++i) {
+        maps_.push_back(
+            std::make_unique<dram::AddressMap>(cfg.capacityBytes));
+        drams_.push_back(std::make_unique<dram::DramDevice>(
+            *maps_.back(), cfg.dramTiming, cfg.storeData, false));
+        buses_.push_back(std::make_unique<bus::MemoryBus>(
+            eq_, *drams_.back(), false));
 
-    imc::ImcConfig imc_cfg = cfg.imc;
-    imc_cfg.refresh = cfg.refresh;
-    imc_ = std::make_unique<imc::Imc>(eq_, *bus_, imc_cfg);
+        imc::ImcConfig imc_cfg = cfg.imc;
+        imc_cfg.refresh = cfg.refresh;
+        if (cfg_.channels > 1)
+            imc_cfg.name = "ch" + std::to_string(i) + ".imc";
+        imcs_.push_back(std::make_unique<imc::Imc>(
+            eq_, *buses_.back(), imc_cfg));
+    }
 
-    cpuCache_ =
-        std::make_unique<cpu::CpuCacheModel>(eq_, *imc_, cfg.cpuCache);
+    std::vector<imc::Imc*> imcs;
+    for (auto& i : imcs_)
+        imcs.push_back(i.get());
+    hostPort_ = std::make_unique<imc::HostPort>(
+        std::move(imcs),
+        dram::ChannelInterleave(cfg_.channels, cfg_.interleaveGranule));
+
+    cpuCache_ = std::make_unique<cpu::CpuCacheModel>(eq_, *hostPort_,
+                                                     cfg.cpuCache);
     engine_ = std::make_unique<cpu::MemcpyEngine>(
-        eq_, *imc_, cpuCache_.get(), cfg.memcpy);
+        eq_, *hostPort_, cpuCache_.get(), cfg.memcpy);
     driver_ = std::make_unique<driver::PmemDriver>(
-        eq_, *engine_, cfg.capacityBytes, cfg.pmem);
+        eq_, *engine_, cfg.capacityBytes * cfg_.channels, cfg.pmem);
 }
 
 } // namespace nvdimmc::core

@@ -2,13 +2,19 @@
  * @file
  * Whole-system assembly.
  *
- * NvdimmcSystem builds the complete NVDIMM-C stack of Fig 1b/3/4:
- * shared DDR4 channel with conflict checking, DRAM cache device, host
- * iMC with programmed tRFC/tREFI, the NVMC (detector + DMA + firmware)
- * snooping the same bus, the NVM backend (FTL over Z-NAND, or a direct
- * byte-addressable media), the CPU cache model and the nvdc driver.
+ * NvdimmcSystem builds the complete NVDIMM-C stack of Fig 1b/3/4 as a
+ * ChannelTopology: N core::Channel units (each a shared DDR4 channel
+ * with conflict checking, DRAM cache device, host iMC with programmed
+ * tRFC/tREFI, an NVMC snooping the bus and an NVM backend), a
+ * page-interleaved physical address map routing every host access to
+ * its owning channel through an imc::HostPort, and the CPU-side
+ * singletons (cache model, memcpy engine, nvdc driver) shared across
+ * channels. With channels = 1 (the PoC machine) every routing function
+ * is the identity and the system behaves byte-identically to the
+ * original single-channel assembly.
  *
- * BaselineSystem builds the /dev/pmem0 comparison machine.
+ * BaselineSystem builds the /dev/pmem0 comparison machine (optionally
+ * multi-channel with line-granular interleave, as plain RDIMMs allow).
  */
 
 #ifndef NVDIMMC_CORE_SYSTEM_HH
@@ -16,9 +22,11 @@
 
 #include <memory>
 #include <ostream>
+#include <vector>
 
 #include "bus/memory_bus.hh"
 #include "common/event_queue.hh"
+#include "core/channel.hh"
 #include "core/system_config.hh"
 #include "cpu/cache_model.hh"
 #include "cpu/memcpy_engine.hh"
@@ -26,6 +34,7 @@
 #include "driver/pmem_driver.hh"
 #include "dram/dram_device.hh"
 #include "ftl/ftl.hh"
+#include "imc/host_port.hh"
 #include "imc/imc.hh"
 #include "nvm/delay_media.hh"
 #include "nvm/nvm_media.hh"
@@ -42,19 +51,43 @@ class NvdimmcSystem
     explicit NvdimmcSystem(const SystemConfig& cfg);
 
     EventQueue& eq() { return eq_; }
-    bus::MemoryBus& bus() { return *bus_; }
-    dram::DramDevice& dramDevice() { return *dram_; }
-    imc::Imc& imc() { return *imc_; }
+
+    /** @name Channel topology. */
+    /** @{ */
+    std::uint32_t channelCount() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+    Channel& channel(std::uint32_t i) { return *channels_[i]; }
+    const Channel& channel(std::uint32_t i) const
+    {
+        return *channels_[i];
+    }
+    imc::HostPort& hostPort() { return *hostPort_; }
+    /** DRAM cache slots summed over all channels. */
+    std::uint32_t totalSlotCount() const;
+    /** @} */
+
+    /** @name Channel-0 shortcuts (the whole machine when N == 1). */
+    /** @{ */
+    bus::MemoryBus& bus() { return channels_[0]->bus(); }
+    dram::DramDevice& dramDevice() { return channels_[0]->dram(); }
+    imc::Imc& imc() { return channels_[0]->imc(); }
+    nvm::PageBackend& backend() { return channels_[0]->backend(); }
+    nvmc::Nvmc* nvmc() { return channels_[0]->nvmc(); }
+    nvm::ZNand* znand() { return channels_[0]->znand(); }
+    ftl::Ftl* ftl() { return channels_[0]->ftl(); }
+    nvm::DelayMedia* delayMedia() { return channels_[0]->delayMedia(); }
+    const nvmc::ReservedLayout& layout() const
+    {
+        return channels_[0]->layout();
+    }
+    /** @} */
+
     cpu::CpuCacheModel& cpuCache() { return *cpuCache_; }
     cpu::MemcpyEngine& engine() { return *engine_; }
     driver::NvdcDriver& driver() { return *driver_; }
-    nvm::PageBackend& backend() { return *backend_; }
-    nvmc::Nvmc* nvmc() { return nvmc_.get(); }
-    nvm::ZNand* znand() { return znand_.get(); }
-    ftl::Ftl* ftl() { return ftl_.get(); }
-    nvm::DelayMedia* delayMedia() { return delayMedia_.get(); }
     const SystemConfig& config() const { return cfg_; }
-    const nvmc::ReservedLayout& layout() const { return *layout_; }
 
     /** Advance simulated time. */
     void run(Tick duration) { eq_.runFor(duration); }
@@ -68,21 +101,25 @@ class NvdimmcSystem
     /**
      * Test/bench scaffolding: install @p pages device pages as cached
      * (optionally dirty) without paying the fill latency, starting at
-     * device page @p first_page. Metadata in DRAM is updated so the
-     * power-fail dump stays consistent.
+     * device page @p first_page. Each page lands in its owning
+     * channel's cache slice; metadata in that channel's DRAM is
+     * updated so the power-fail dump stays consistent.
      */
     void precondition(std::uint64_t first_page, std::uint32_t pages,
                       bool dirty);
 
-    /** Zero bus conflicts and zero DRAM violations so far? */
+    /** Zero bus conflicts and zero DRAM violations on every channel? */
     bool hardwareClean() const;
 
     /**
      * Register every layer's statistics under the hierarchical names
      * (dram.*, bus.*, imc.*, cpu.*, nvdc.*, nvmc.*, ftl.*, znand.*)
      * plus the flat legacy aliases (cache.*, fw.*) older tooling
-     * parses. The registry holds live getters: it must not outlive
-     * this system.
+     * parses. On a multi-channel system the per-channel hardware
+     * registers under ch<i>.-prefixed names (ch1.imc.*, ...) and the
+     * un-prefixed names become aggregates (sums; max for
+     * imc.refresh.overhead_pct). The registry holds live getters: it
+     * must not outlive this system.
      */
     void registerStats(StatRegistry& reg) const;
 
@@ -96,20 +133,8 @@ class NvdimmcSystem
     SystemConfig cfg_;
     EventQueue eq_;
 
-    std::unique_ptr<dram::AddressMap> map_;
-    std::unique_ptr<dram::DramDevice> dram_;
-    std::unique_ptr<bus::MemoryBus> bus_;
-    std::unique_ptr<imc::Imc> imc_;
-
-    std::unique_ptr<nvm::ZNand> znand_;
-    std::unique_ptr<ftl::Ftl> ftl_;
-    std::unique_ptr<nvm::NvmMedia> simpleMedia_;
-    std::unique_ptr<nvm::DelayMedia> delayMedia_;
-    std::unique_ptr<nvm::DirectBackend> directBackend_;
-    nvm::PageBackend* backend_ = nullptr;
-
-    std::unique_ptr<nvmc::ReservedLayout> layout_;
-    std::unique_ptr<nvmc::Nvmc> nvmc_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::unique_ptr<imc::HostPort> hostPort_;
 
     std::unique_ptr<cpu::CpuCacheModel> cpuCache_;
     std::unique_ptr<cpu::MemcpyEngine> engine_;
@@ -123,8 +148,14 @@ class BaselineSystem
     explicit BaselineSystem(const BaselineConfig& cfg);
 
     EventQueue& eq() { return eq_; }
-    bus::MemoryBus& bus() { return *bus_; }
-    imc::Imc& imc() { return *imc_; }
+    std::uint32_t channelCount() const
+    {
+        return static_cast<std::uint32_t>(imcs_.size());
+    }
+    bus::MemoryBus& bus() { return *buses_[0]; }
+    imc::Imc& imc() { return *imcs_[0]; }
+    imc::Imc& imc(std::uint32_t ch) { return *imcs_[ch]; }
+    imc::HostPort& hostPort() { return *hostPort_; }
     cpu::MemcpyEngine& engine() { return *engine_; }
     driver::PmemDriver& driver() { return *driver_; }
     const BaselineConfig& config() const { return cfg_; }
@@ -134,10 +165,11 @@ class BaselineSystem
   private:
     BaselineConfig cfg_;
     EventQueue eq_;
-    std::unique_ptr<dram::AddressMap> map_;
-    std::unique_ptr<dram::DramDevice> dram_;
-    std::unique_ptr<bus::MemoryBus> bus_;
-    std::unique_ptr<imc::Imc> imc_;
+    std::vector<std::unique_ptr<dram::AddressMap>> maps_;
+    std::vector<std::unique_ptr<dram::DramDevice>> drams_;
+    std::vector<std::unique_ptr<bus::MemoryBus>> buses_;
+    std::vector<std::unique_ptr<imc::Imc>> imcs_;
+    std::unique_ptr<imc::HostPort> hostPort_;
     std::unique_ptr<cpu::CpuCacheModel> cpuCache_;
     std::unique_ptr<cpu::MemcpyEngine> engine_;
     std::unique_ptr<driver::PmemDriver> driver_;

@@ -4,17 +4,24 @@ namespace nvdimmc::core
 {
 
 SystemConfig
-SystemConfig::paperPoc()
+SystemConfig::deriveScaled(std::uint64_t cacheBytes)
 {
     SystemConfig c;
-    c.dramCacheBytes = 16 * kGiB;
+    c.dramCacheBytes = cacheBytes;
     c.dramTiming = dram::Ddr4Timing::ddr4_1600();
     c.refresh = dram::RefreshRegisters::nvdimmc();
     c.media = MediaKind::ZNand;
-    c.znand = nvm::ZNandParams::poc128GB();
     c.imc.refresh = c.refresh;
     c.nvmc.programmedRefresh = c.refresh;
     c.nvmc.firmware = nvmc::FirmwareConfig::poc();
+    return c;
+}
+
+SystemConfig
+SystemConfig::paperPoc()
+{
+    SystemConfig c = deriveScaled(16 * kGiB);
+    c.znand = nvm::ZNandParams::poc128GB();
     // Full-scale runs are throughput studies; the analytic memcpy
     // keeps bulk data out of the byte store (which must stay on for
     // the CP/ack/metadata channel the driver and FPGA share).
@@ -25,19 +32,12 @@ SystemConfig::paperPoc()
 SystemConfig
 SystemConfig::scaledTest()
 {
-    SystemConfig c;
     // Cache intentionally much smaller than the NAND so eviction and
     // writeback paths are exercised quickly.
-    c.dramCacheBytes = 4 * kMiB;
-    c.dramTiming = dram::Ddr4Timing::ddr4_1600();
-    c.refresh = dram::RefreshRegisters::nvdimmc();
-    c.media = MediaKind::ZNand;
+    SystemConfig c = deriveScaled(4 * kMiB);
     c.znand = nvm::ZNandParams::tiny();
     c.ftl.gcLowWaterBlocks = 2;
     c.ftl.gcHighWaterBlocks = 4;
-    c.imc.refresh = c.refresh;
-    c.nvmc.programmedRefresh = c.refresh;
-    c.nvmc.firmware = nvmc::FirmwareConfig::poc();
     c.cpuCache.capacityLines = 16 * 1024;
     c.storeData = true;
     return c;
@@ -46,20 +46,13 @@ SystemConfig::scaledTest()
 SystemConfig
 SystemConfig::scaledBench()
 {
-    SystemConfig c;
-    c.dramCacheBytes = 512 * kMiB;
-    c.dramTiming = dram::Ddr4Timing::ddr4_1600();
-    c.refresh = dram::RefreshRegisters::nvdimmc();
-    c.media = MediaKind::ZNand;
+    SystemConfig c = deriveScaled(512 * kMiB);
     // 4 GiB of NAND (3.75 GiB exposed): tiny() geometry scaled up.
     c.znand = nvm::ZNandParams::tiny();
     c.znand.diesPerChannel = 2;
     c.znand.planesPerDie = 2;
     c.znand.blocksPerPlane = 512;
     c.znand.pagesPerBlock = 256;
-    c.imc.refresh = c.refresh;
-    c.nvmc.programmedRefresh = c.refresh;
-    c.nvmc.firmware = nvmc::FirmwareConfig::poc();
     c.memcpy.bulkMode = true;
     return c;
 }

@@ -43,6 +43,22 @@ enum class MediaKind
 /** Full NVDIMM-C system configuration. */
 struct SystemConfig
 {
+    /** @name Channel topology.
+     * Every capacity below (DRAM cache, Z-NAND geometry, mediaBytes)
+     * is *per module*: a system with channels = N carries N complete
+     * NVDIMM-C modules and N times the aggregate capacity. The flat
+     * physical address space interleaves across the channels
+     * (dram/channel_interleave.hh); NVDIMM-C systems always interleave
+     * at page (4 KB) granularity because a module's NVMC can only fill
+     * its own DRAM — interleaveGranule is clamped accordingly. */
+    /** @{ */
+    std::uint32_t channels = 1;
+    std::uint32_t interleaveGranule = 4096;
+    /** Offset channel i's tREFI clock by i * tREFI / N so refresh
+     *  blackouts (and the DMA windows inside them) stagger. */
+    bool staggerRefresh = true;
+    /** @} */
+
     /** @name DRAM cache DIMM. */
     /** @{ */
     std::uint64_t dramCacheBytes = 16 * kGiB;
@@ -79,11 +95,25 @@ struct SystemConfig
     static SystemConfig scaledTest();
     /** Medium config for benches (512 MiB cache, bulk memcpy). */
     static SystemConfig scaledBench();
+
+    /**
+     * Shared derivation every preset builds on: a @p cacheBytes DRAM
+     * cache in front of Z-NAND with the paper's timing ratios
+     * (DDR4-1600, programmed tRFC 1250 ns vs tREFI 7.8 us) mirrored
+     * into the iMC and the NVMC. Presets only adjust capacities and
+     * workload knobs on top — never the ratios that drive the paper's
+     * results.
+     */
+    static SystemConfig deriveScaled(std::uint64_t cacheBytes);
 };
 
 /** Baseline (/dev/pmem0) system configuration. */
 struct BaselineConfig
 {
+    /** Plain DRAM may interleave at line granularity (256 B) — there
+     *  is no per-module NVMC tying a page to one channel. */
+    std::uint32_t channels = 1;
+    std::uint32_t interleaveGranule = 4096;
     std::uint64_t capacityBytes = 128 * kGiB;
     dram::Ddr4Timing dramTiming = dram::Ddr4Timing::ddr4_1600();
     /** Table I: the baseline RDIMM also ran with tRFC = 1250 ns. */

@@ -10,7 +10,16 @@ namespace nvdimmc::cpu
 
 CpuCacheModel::CpuCacheModel(EventQueue& eq, imc::Imc& imc,
                              const Params& p)
-    : eq_(eq), imc_(imc), params_(p)
+    : eq_(eq),
+      ownedPort_(std::make_unique<imc::HostPort>(imc)),
+      port_(*ownedPort_),
+      params_(p)
+{
+}
+
+CpuCacheModel::CpuCacheModel(EventQueue& eq, imc::HostPort& port,
+                             const Params& p)
+    : eq_(eq), port_(port), params_(p)
 {
 }
 
@@ -27,9 +36,9 @@ CpuCacheModel::maybeEvictOne()
     if (it->second.dirty) {
         Addr victim = it->first;
         auto data = it->second.data;
-        if (!imc_.writeLine(victim, data.data(), nullptr)) {
-            imc_.whenSpace([this, victim, data] {
-                imc_.writeLine(victim, data.data(), nullptr);
+        if (!port_.writeLine(victim, data.data(), nullptr)) {
+            port_.whenSpace(victim, [this, victim, data] {
+                port_.writeLine(victim, data.data(), nullptr);
             });
         }
     }
@@ -57,8 +66,8 @@ CpuCacheModel::load(Addr addr, std::uint8_t* buf, Callback done)
     // iMC is destroyed on the failure path) for the retry.
     auto staging = std::make_shared<std::array<std::uint8_t, 64>>();
     auto cb = std::make_shared<Callback>(std::move(done));
-    bool ok = imc_.readLine(line_addr, staging->data(),
-                            [this, line_addr, buf, staging, cb] {
+    bool ok = port_.readLine(line_addr, staging->data(),
+                             [this, line_addr, buf, staging, cb] {
         maybeEvictOne();
         auto& line = lines_[line_addr];
         // Don't clobber a line that was dirtied while the miss was
@@ -72,7 +81,7 @@ CpuCacheModel::load(Addr addr, std::uint8_t* buf, Callback done)
     });
     if (!ok) {
         // Read queue full: retry when space frees.
-        imc_.whenSpace([this, addr, buf, cb] {
+        port_.whenSpace(line_addr, [this, addr, buf, cb] {
             load(addr, buf, std::move(*cb));
         });
     }
@@ -105,7 +114,7 @@ CpuCacheModel::storeNt(Addr addr, const std::uint8_t* data,
         std::memcpy(it->second.data.data(), data, 64);
         it->second.dirty = false;
     }
-    return imc_.writeLine(line_addr, data, std::move(done));
+    return port_.writeLine(line_addr, data, std::move(done));
 }
 
 void
@@ -127,9 +136,9 @@ CpuCacheModel::clflush(Addr addr, Callback done)
     }
     stats_.flushWritebacks.inc();
     Tick cost = params_.flushCost;
-    if (!imc_.writeLine(line_addr, data.data(), nullptr)) {
-        imc_.whenSpace([this, line_addr, data] {
-            imc_.writeLine(line_addr, data.data(), nullptr);
+    if (!port_.writeLine(line_addr, data.data(), nullptr)) {
+        port_.whenSpace(line_addr, [this, line_addr, data] {
+            port_.writeLine(line_addr, data.data(), nullptr);
         });
     }
     eq_.scheduleAfter(cost, std::move(done));

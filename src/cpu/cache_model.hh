@@ -24,10 +24,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "imc/host_port.hh"
 #include "imc/imc.hh"
 
 namespace nvdimmc::cpu
@@ -61,7 +63,11 @@ class CpuCacheModel
         Tick flushCost = 30 * kNs;
     };
 
+    /** Single-channel convenience: wraps @p imc in an owned port. */
     CpuCacheModel(EventQueue& eq, imc::Imc& imc, const Params& p);
+
+    /** Multi-channel: lines route through @p port's interleave map. */
+    CpuCacheModel(EventQueue& eq, imc::HostPort& port, const Params& p);
 
     /** Load one 64 B line (through the cache). */
     void load(Addr addr, std::uint8_t* buf, Callback done);
@@ -105,7 +111,9 @@ class CpuCacheModel
     void maybeEvictOne();
 
     EventQueue& eq_;
-    imc::Imc& imc_;
+    /** Owned identity port for the single-iMC constructor. */
+    std::unique_ptr<imc::HostPort> ownedPort_;
+    imc::HostPort& port_;
     Params params_;
     std::unordered_map<Addr, Line> lines_;
     CacheStats stats_;

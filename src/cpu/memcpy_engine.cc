@@ -7,7 +7,17 @@ namespace nvdimmc::cpu
 
 MemcpyEngine::MemcpyEngine(EventQueue& eq, imc::Imc& imc,
                            CpuCacheModel* cache, const Params& p)
-    : eq_(eq), imc_(imc), cache_(cache), params_(p)
+    : eq_(eq),
+      ownedPort_(std::make_unique<imc::HostPort>(imc)),
+      port_(*ownedPort_),
+      cache_(cache),
+      params_(p)
+{
+}
+
+MemcpyEngine::MemcpyEngine(EventQueue& eq, imc::HostPort& port,
+                           CpuCacheModel* cache, const Params& p)
+    : eq_(eq), port_(port), cache_(cache), params_(p)
 {
 }
 
@@ -18,7 +28,7 @@ MemcpyEngine::read(Addr addr, std::uint32_t len, std::uint8_t* buf,
     NVDC_ASSERT(len > 0 && len % 64 == 0 && addr % 64 == 0,
                 "memcpy read must be 64B aligned");
     if (params_.bulkMode) {
-        imc_.bulkTransfer(len, false, std::move(done));
+        port_.bulkTransfer(addr, len, false, std::move(done));
         return;
     }
     auto t = std::make_shared<Transfer>();
@@ -39,7 +49,7 @@ MemcpyEngine::writeNt(Addr addr, std::uint32_t len,
     NVDC_ASSERT(len > 0 && len % 64 == 0 && addr % 64 == 0,
                 "memcpy write must be 64B aligned");
     if (params_.bulkMode) {
-        imc_.bulkTransfer(len, true, std::move(done));
+        port_.bulkTransfer(addr, len, true, std::move(done));
         return;
     }
     auto t = std::make_shared<Transfer>();
@@ -84,13 +94,13 @@ MemcpyEngine::pumpRead(const std::shared_ptr<Transfer>& t)
             cache_->load(line, t->rbuf ? t->rbuf + off : nullptr,
                          on_line_done);
         } else {
-            bool accepted = imc_.readLine(
+            bool accepted = port_.readLine(
                 line, t->rbuf ? t->rbuf + off : nullptr, on_line_done);
             if (!accepted) {
                 t->inFlight -= 1;
                 t->issued -= 64;
                 t->stalled = true;
-                imc_.whenSpace([this, t] { pumpRead(t); });
+                port_.whenSpace(line, [this, t] { pumpRead(t); });
                 return;
             }
         }
@@ -111,10 +121,10 @@ MemcpyEngine::pumpWrite(const std::shared_ptr<Transfer>& t)
     const std::uint8_t* src = t->wdata ? t->wdata + t->issued : nullptr;
 
     bool accepted = cache_ ? cache_->storeNt(line, src, nullptr)
-                           : imc_.writeLine(line, src, nullptr);
+                           : port_.writeLine(line, src, nullptr);
     if (!accepted) {
         // WPQ full: resume once the drain frees an entry.
-        imc_.whenSpace([this, t] { pumpWrite(t); });
+        port_.whenSpace(line, [this, t] { pumpWrite(t); });
         return;
     }
     t->issued += 64;

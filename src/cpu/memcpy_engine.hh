@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "cpu/cache_model.hh"
+#include "imc/host_port.hh"
 #include "imc/imc.hh"
 
 namespace nvdimmc::cpu
@@ -43,8 +44,13 @@ class MemcpyEngine
   public:
     using Params = MemcpyParams;
 
+    /** Single-channel convenience: wraps @p imc in an owned port. */
     MemcpyEngine(EventQueue& eq, imc::Imc& imc, CpuCacheModel* cache,
                  const Params& p = Params{});
+
+    /** Multi-channel: lines and bulk slices route through @p port. */
+    MemcpyEngine(EventQueue& eq, imc::HostPort& port,
+                 CpuCacheModel* cache, const Params& p = Params{});
 
     /**
      * Read @p len bytes at @p addr into @p buf (nullable).
@@ -78,7 +84,9 @@ class MemcpyEngine
     void pumpWrite(const std::shared_ptr<Transfer>& t);
 
     EventQueue& eq_;
-    imc::Imc& imc_;
+    /** Owned identity port for the single-iMC constructor. */
+    std::unique_ptr<imc::HostPort> ownedPort_;
+    imc::HostPort& port_;
     CpuCacheModel* cache_;
     Params params_;
 };

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Channel interleave map: the flat physical address space the host
+ * (and the nvdc driver) sees is striped round-robin across N DDR4
+ * channels at a configurable granule (4 KB page or 256 B line, the
+ * two modes Skylake BIOSes expose).
+ *
+ * Flat granule u lives on channel u % N at local granule u / N, so
+ * every channel sees a dense local address space of capacity/N bytes
+ * and consecutive flat granules hit consecutive channels — the
+ * bandwidth-interleaving every production NVDIMM deployment uses
+ * (paper §VII scaling discussion; the evaluated Skylake host has six
+ * channels per socket).
+ *
+ * Device pages (4 KB) are always assigned whole to one owning channel
+ * (pageChannel): an NVDIMM-C module's NVMC can only DMA into its own
+ * module's DRAM, so a driver cache slot can never stripe across
+ * modules. Sub-page (256 B) interleave therefore only applies to raw
+ * host DRAM streams (the pmem baseline); the NVDIMM-C DAX region
+ * interleaves at page granularity.
+ *
+ * With N == 1 every mapping below is the identity, which is what keeps
+ * the single-channel topology byte-identical to the pre-refactor
+ * simulator.
+ */
+
+#ifndef NVDIMMC_DRAM_CHANNEL_INTERLEAVE_HH
+#define NVDIMMC_DRAM_CHANNEL_INTERLEAVE_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace nvdimmc::dram
+{
+
+/** Flat-address <-> (channel, local-address) interleave map. */
+class ChannelInterleave
+{
+  public:
+    static constexpr std::uint32_t kPageGranule = 4096;
+    static constexpr std::uint32_t kLineGranule = 256;
+    static constexpr std::uint32_t kPageBytes = 4096;
+
+    /** Where a flat address landed. */
+    struct Target
+    {
+        std::uint32_t channel;
+        Addr local;
+    };
+
+    explicit ChannelInterleave(std::uint32_t channels = 1,
+                               std::uint32_t granule = kPageGranule)
+        : channels_(channels), granule_(granule)
+    {
+        NVDC_ASSERT(channels >= 1, "need at least one channel");
+        NVDC_ASSERT(granule == kPageGranule || granule == kLineGranule,
+                    "interleave granule must be 4096 or 256");
+    }
+
+    std::uint32_t channels() const { return channels_; }
+    std::uint32_t granule() const { return granule_; }
+
+    /** Route a flat address to its channel + channel-local address. */
+    Target route(Addr flat) const
+    {
+        Addr unit = flat / granule_;
+        return {static_cast<std::uint32_t>(unit % channels_),
+                (unit / channels_) * granule_ + flat % granule_};
+    }
+
+    /** Inverse of route(): rebuild the flat address. */
+    Addr flatten(std::uint32_t channel, Addr local) const
+    {
+        Addr unit = local / granule_;
+        return (unit * channels_ + channel) * granule_ +
+               local % granule_;
+    }
+
+    /** Owning channel of a 4 KB device page (whole-page assignment;
+     *  see the file comment for why slots never stripe). */
+    std::uint32_t pageChannel(std::uint64_t page) const
+    {
+        return static_cast<std::uint32_t>(page % channels_);
+    }
+
+    /** Module-local page index of a device page on its channel. */
+    std::uint64_t localPage(std::uint64_t page) const
+    {
+        return page / channels_;
+    }
+
+    /** Inverse of (pageChannel, localPage). */
+    std::uint64_t flattenPage(std::uint32_t channel,
+                              std::uint64_t local_page) const
+    {
+        return local_page * channels_ + channel;
+    }
+
+    /** A line access (64 B) never straddles a granule. */
+    static_assert(kLineGranule % 64 == 0, "granule must hold lines");
+
+  private:
+    std::uint32_t channels_;
+    std::uint32_t granule_;
+};
+
+} // namespace nvdimmc::dram
+
+#endif // NVDIMMC_DRAM_CHANNEL_INTERLEAVE_HH

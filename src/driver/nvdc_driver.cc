@@ -14,23 +14,50 @@ NvdcDriver::NvdcDriver(EventQueue& eq, cpu::CpuCacheModel& cache_model,
                        const nvmc::ReservedLayout& layout,
                        std::uint64_t backend_pages,
                        const NvdcDriverConfig& cfg)
+    : NvdcDriver(eq, cache_model, engine,
+                 std::vector<const nvmc::ReservedLayout*>{&layout},
+                 backend_pages, cfg)
+{
+}
+
+NvdcDriver::NvdcDriver(EventQueue& eq, cpu::CpuCacheModel& cache_model,
+                       cpu::MemcpyEngine& engine,
+                       std::vector<const nvmc::ReservedLayout*> layouts,
+                       std::uint64_t backend_pages_total,
+                       const NvdcDriverConfig& cfg)
     : eq_(eq),
       cacheModel_(cache_model),
       engine_(engine),
-      layout_(layout),
-      backendPages_(backend_pages),
+      backendPages_(backend_pages_total),
       cfg_(cfg),
-      cache_(layout.slotCount(),
-             ReplacementPolicy::create(cfg.policy, cfg.policySeed)),
-      driverLock_(eq),
-      everWritten_(backend_pages, false),
-      cpPhase_(layout.maxCommands, 0)
+      channels_(static_cast<std::uint32_t>(layouts.size())),
+      il_(channels_, dram::ChannelInterleave::kPageGranule),
+      everWritten_(backend_pages_total, false)
 {
-    NVDC_ASSERT(cfg.cpQueueDepth >= 1 &&
-                cfg.cpQueueDepth <= layout.maxCommands,
-                "driver CP depth exceeds the layout");
-    for (std::uint32_t i = 0; i < cfg.cpQueueDepth; ++i)
-        freeCpIndices_.push_back(i);
+    NVDC_ASSERT(!layouts.empty(), "driver needs at least one module");
+    NVDC_ASSERT(backend_pages_total % channels_ == 0,
+                "device pages must split evenly across modules");
+    layouts_.reserve(layouts.size());
+    caches_.reserve(layouts.size());
+    locks_.reserve(layouts.size());
+    for (std::uint32_t ch = 0; ch < channels_; ++ch) {
+        const nvmc::ReservedLayout& lay = *layouts[ch];
+        NVDC_ASSERT(cfg.cpQueueDepth >= 1 &&
+                    cfg.cpQueueDepth <= lay.maxCommands,
+                    "driver CP depth exceeds the layout");
+        layouts_.push_back(lay);
+        caches_.push_back(std::make_unique<DramCache>(
+            lay.slotCount(),
+            ReplacementPolicy::create(cfg.policy,
+                                      cfg.policySeed + ch)));
+        locks_.push_back(std::make_unique<SimMutex>(eq));
+        std::vector<std::uint32_t> free_indices;
+        for (std::uint32_t i = 0; i < cfg.cpQueueDepth; ++i)
+            free_indices.push_back(i);
+        freeCpIndices_.push_back(std::move(free_indices));
+        cpWaiters_.emplace_back();
+        cpPhase_.emplace_back(lay.maxCommands, 0);
+    }
 }
 
 void
@@ -128,7 +155,9 @@ void
 NvdcDriver::segmentMemcpy(std::shared_ptr<Segment> seg,
                           std::uint32_t slot, Callback done)
 {
-    Addr addr = layout_.slotAddr(slot) + seg->pageOffset;
+    std::uint32_t ch = channelOf(seg->devPage);
+    Addr addr = flatAddr(ch, layouts_[ch].slotAddr(slot)) +
+                seg->pageOffset;
     if (seg->isWrite) {
         engine_.writeNt(addr, seg->len, seg->wdata, std::move(done));
     } else {
@@ -172,17 +201,19 @@ NvdcDriver::finishFault(std::shared_ptr<Segment> seg)
 void
 NvdcDriver::hitPath(std::shared_ptr<Segment> seg, std::uint32_t slot)
 {
+    std::uint32_t ch = channelOf(seg->devPage);
     Tick pre = seg->firstInOp ? cfg_.hitPreOverhead : 0;
-    eq_.scheduleAfter(pre, [this, seg, slot] {
-        driverLock_.acquire([this, seg, slot] {
+    eq_.scheduleAfter(pre, [this, seg, slot, ch] {
+        locks_[ch]->acquire([this, seg, slot, ch] {
             Tick hold = seg->firstInOp ? lockCost(*seg)
                                        : cfg_.continuationLockHold;
-            eq_.scheduleAfter(hold, [this, seg, slot] {
+            eq_.scheduleAfter(hold, [this, seg, slot, ch] {
+                DramCache& cache = *caches_[ch];
                 // Re-validate under the lock: the slot may have been
                 // evicted while we waited.
-                auto cur = cache_.lookup(seg->devPage);
+                auto cur = cache.lookup(seg->devPage);
                 if (!cur || *cur != slot) {
-                    driverLock_.release();
+                    locks_[ch]->release();
                     stats_.pageFaults.inc();
                     if (cfg_.hypothetical)
                         hypotheticalFault(seg);
@@ -194,23 +225,23 @@ NvdcDriver::hitPath(std::shared_ptr<Segment> seg, std::uint32_t slot)
                     everWritten_[seg->devPage] = true;
                 bool meta_dirty = false;
                 if (seg->isWrite && cfg_.trackDirty &&
-                    !cache_.slot(slot).dirty) {
-                    cache_.markDirty(slot);
+                    !cache.slot(slot).dirty) {
+                    cache.markDirty(slot);
                     meta_dirty = true;
                 }
                 // Keep the slot from being evicted under our feet
                 // while the data moves.
-                cache_.pin(slot);
-                driverLock_.release();
+                cache.pin(slot);
+                locks_[ch]->release();
 
-                auto after_meta = [this, seg, slot] {
-                    segmentMemcpy(seg, slot, [this, seg, slot] {
-                        cache_.unpin(slot);
+                auto after_meta = [this, seg, slot, ch] {
+                    segmentMemcpy(seg, slot, [this, seg, slot, ch] {
+                        caches_[ch]->unpin(slot);
                         finishHit(seg);
                     });
                 };
                 if (meta_dirty)
-                    writeMetadata(slot, after_meta);
+                    writeMetadata(ch, slot, after_meta);
                 else
                     after_meta();
             });
@@ -224,38 +255,41 @@ NvdcDriver::hypotheticalFault(std::shared_ptr<Segment> seg)
     // Paper §VII-D1: the modified driver bypasses the FPGA entirely
     // and waits three programmable delays (one per refresh-window step
     // a real uncached access needs).
-    driverLock_.acquire([this, seg] {
-        eq_.scheduleAfter(cfg_.faultOverhead, [this, seg] {
-            auto cur = cache_.peek(seg->devPage);
+    std::uint32_t ch = channelOf(seg->devPage);
+    locks_[ch]->acquire([this, seg, ch] {
+        eq_.scheduleAfter(cfg_.faultOverhead, [this, seg, ch] {
+            DramCache& cache = *caches_[ch];
+            auto cur = cache.peek(seg->devPage);
             if (cur) {
-                driverLock_.release();
+                locks_[ch]->release();
                 hitPath(seg, *cur);
                 return;
             }
-            cache_.lookup(seg->devPage); // Record the miss.
+            cache.lookup(seg->devPage); // Record the miss.
             std::uint32_t slot;
-            if (cache_.hasFree()) {
-                slot = cache_.allocate(seg->devPage);
+            if (cache.hasFree()) {
+                slot = cache.allocate(seg->devPage);
             } else {
-                std::uint32_t victim = cache_.pickVictim();
-                CacheSlot prior = cache_.beginEvict(victim);
+                std::uint32_t victim = cache.pickVictim();
+                CacheSlot prior = cache.beginEvict(victim);
                 pageTable_.unmap(prior.devPage);
-                cache_.rebind(victim, seg->devPage);
+                cache.rebind(victim, seg->devPage);
                 slot = victim;
             }
-            driverLock_.release();
+            locks_[ch]->release();
 
             eq_.scheduleAfter(3 * cfg_.hypotheticalTd,
-                              [this, seg, slot] {
-                driverLock_.acquire([this, seg, slot] {
-                    cache_.finishFill(slot);
+                              [this, seg, slot, ch] {
+                locks_[ch]->acquire([this, seg, slot, ch] {
+                    DramCache& cache = *caches_[ch];
+                    cache.finishFill(slot);
                     if (seg->isWrite || !cfg_.trackDirty)
-                        cache_.markDirty(slot);
+                        cache.markDirty(slot);
                     pageTable_.map(seg->devPage, slot);
-                    cache_.pin(slot);
-                    driverLock_.release();
-                    segmentMemcpy(seg, slot, [this, seg, slot] {
-                        cache_.unpin(slot);
+                    cache.pin(slot);
+                    locks_[ch]->release();
+                    segmentMemcpy(seg, slot, [this, seg, slot, ch] {
+                        caches_[ch]->unpin(slot);
                         finishFault(seg);
                     });
                 });
@@ -267,13 +301,15 @@ NvdcDriver::hypotheticalFault(std::shared_ptr<Segment> seg)
 void
 NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
 {
-    driverLock_.acquire([this, seg] {
-        eq_.scheduleAfter(cfg_.faultOverhead, [this, seg] {
+    std::uint32_t ch = channelOf(seg->devPage);
+    locks_[ch]->acquire([this, seg, ch] {
+        eq_.scheduleAfter(cfg_.faultOverhead, [this, seg, ch] {
+            DramCache& cache = *caches_[ch];
             // Someone else (or a prefetch) may have filled the page
             // while we waited.
-            auto cur = cache_.peek(seg->devPage);
+            auto cur = cache.peek(seg->devPage);
             if (cur) {
-                driverLock_.release();
+                locks_[ch]->release();
                 hitPath(seg, *cur);
                 return;
             }
@@ -282,7 +318,7 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                 stats_.prefetchHits.inc();
                 pending->second.push_back(
                     [this, seg] { doSegment(seg); });
-                driverLock_.release();
+                locks_[ch]->release();
                 return;
             }
             auto pending_wb = pendingWritebacks_.find(seg->devPage);
@@ -291,11 +327,11 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                 // NVM; refaulting now would fill stale bytes.
                 pending_wb->second.push_back(
                     [this, seg] { doSegment(seg); });
-                driverLock_.release();
+                locks_[ch]->release();
                 return;
             }
 
-            cache_.lookup(seg->devPage); // Record the miss.
+            cache.lookup(seg->devPage); // Record the miss.
             pendingFills_[seg->devPage]; // Claim the fill.
 
             bool sequential_stream =
@@ -307,20 +343,20 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
             bool need_wb = false;
             std::uint64_t wb_page = 0;
             std::uint32_t slot;
-            if (cache_.hasFree()) {
-                slot = cache_.allocate(seg->devPage);
+            if (cache.hasFree()) {
+                slot = cache.allocate(seg->devPage);
             } else {
-                std::uint32_t victim = cache_.pickVictim();
-                CacheSlot prior = cache_.beginEvict(victim);
+                std::uint32_t victim = cache.pickVictim();
+                CacheSlot prior = cache.beginEvict(victim);
                 pageTable_.unmap(prior.devPage);
-                cache_.rebind(victim, seg->devPage);
+                cache.rebind(victim, seg->devPage);
                 slot = victim;
                 need_wb = prior.dirty || !cfg_.trackDirty;
                 wb_page = prior.devPage;
                 if (need_wb)
                     pendingWritebacks_[wb_page];
             }
-            driverLock_.release();
+            locks_[ch]->release();
 
             // The write-allocate fast path (zero-fill, no CP) only
             // applies when a free slot exists; on the eviction path
@@ -329,25 +365,27 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
             // operations is necessary for every 4 KB write" once the
             // cache is full).
             bool zero_fill_pre =
-                !everWritten_[seg->devPage] && cache_.hasFree();
+                !everWritten_[seg->devPage] && cache.hasFree();
 
             // Step 3 (after the CP work): install and serve.
-            auto install = [this, seg, slot, zero_fill_pre] {
-                auto after_inval = [this, seg, slot] {
-                    driverLock_.acquire([this, seg, slot] {
-                        cache_.finishFill(slot);
+            auto install = [this, seg, slot, ch, zero_fill_pre] {
+                auto after_inval = [this, seg, slot, ch] {
+                    locks_[ch]->acquire([this, seg, slot, ch] {
+                        DramCache& cache = *caches_[ch];
+                        cache.finishFill(slot);
                         // Without dirty tracking the PoC assumes every
                         // cached page is dirty (it writes all victims
                         // back and the power dump must save them).
                         if (seg->isWrite || !cfg_.trackDirty)
-                            cache_.markDirty(slot);
+                            cache.markDirty(slot);
                         pageTable_.map(seg->devPage, slot);
-                        cache_.pin(slot);
-                        driverLock_.release();
-                        writeMetadata(slot, [this, seg, slot] {
+                        cache.pin(slot);
+                        locks_[ch]->release();
+                        writeMetadata(ch, slot, [this, seg, slot, ch] {
                             fillCompleted(seg->devPage);
-                            segmentMemcpy(seg, slot, [this, seg, slot] {
-                                cache_.unpin(slot);
+                            segmentMemcpy(seg, slot,
+                                          [this, seg, slot, ch] {
+                                caches_[ch]->unpin(slot);
                                 finishFault(seg);
                             });
                         });
@@ -356,7 +394,7 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                 // A zero-filled slot was written by the CPU itself;
                 // only FPGA-filled data needs the invalidation pass.
                 if (cfg_.invalidateAfterFill && !zero_fill_pre)
-                    invalidateSlotLines(slot, after_inval);
+                    invalidateSlotLines(ch, slot, after_inval);
                 else
                     after_inval();
             };
@@ -369,23 +407,23 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                 everWritten_[seg->devPage] = true;
 
             // Step 2: the CP transactions.
-            auto do_cp = [this, seg, slot, need_wb, wb_page, install,
-                          zero_fill] {
+            auto do_cp = [this, seg, slot, ch, need_wb, wb_page,
+                          install, zero_fill] {
                 if (need_wb && cfg_.mergedWbCf && !zero_fill) {
                     nvmc::CpCommand cmd;
                     cmd.opcode = nvmc::CpOpcode::WritebackCachefill;
                     cmd.dramSlot = slot;
-                    cmd.nandPage = wb_page;
+                    cmd.nandPage = localPage(wb_page);
                     cmd.dramSlot2 = slot;
-                    cmd.nandPage2 = seg->devPage;
+                    cmd.nandPage2 = localPage(seg->devPage);
                     stats_.mergedCommands.inc();
-                    cpTransaction(cmd, [this, wb_page, install] {
+                    cpTransaction(ch, cmd, [this, wb_page, install] {
                         writebackCompleted(wb_page);
                         install();
                     });
                     return;
                 }
-                auto fill = [this, seg, slot, install, zero_fill] {
+                auto fill = [this, seg, slot, ch, install, zero_fill] {
                     if (zero_fill) {
                         eq_.scheduleAfter(cfg_.zeroFillCost, install);
                         return;
@@ -393,17 +431,17 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                     nvmc::CpCommand cmd;
                     cmd.opcode = nvmc::CpOpcode::Cachefill;
                     cmd.dramSlot = slot;
-                    cmd.nandPage = seg->devPage;
+                    cmd.nandPage = localPage(seg->devPage);
                     stats_.cachefills.inc();
-                    cpTransaction(cmd, install);
+                    cpTransaction(ch, cmd, install);
                 };
                 if (need_wb) {
                     nvmc::CpCommand cmd;
                     cmd.opcode = nvmc::CpOpcode::Writeback;
                     cmd.dramSlot = slot;
-                    cmd.nandPage = wb_page;
+                    cmd.nandPage = localPage(wb_page);
                     stats_.writebacks.inc();
-                    cpTransaction(cmd, [this, wb_page, fill] {
+                    cpTransaction(ch, cmd, [this, wb_page, fill] {
                         writebackCompleted(wb_page);
                         fill();
                     });
@@ -415,7 +453,7 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
             // Step 1: coherence — push any CPU-cached lines of the
             // victim slot out to DRAM before the FPGA reads it.
             if (need_wb && cfg_.flushBeforeWriteback)
-                flushSlotLines(slot, do_cp);
+                flushSlotLines(ch, slot, do_cp);
             else
                 do_cp();
 
@@ -440,57 +478,60 @@ void
 NvdcDriver::prefetchFill(std::uint64_t page)
 {
     // Deferred so the demand fault's CP command is queued first.
-    eq_.scheduleAfter(0, [this, page] {
-        driverLock_.acquire([this, page] {
-            if (cache_.peek(page) || pendingFills_.count(page) ||
+    std::uint32_t ch = channelOf(page);
+    eq_.scheduleAfter(0, [this, page, ch] {
+        locks_[ch]->acquire([this, page, ch] {
+            DramCache& cache = *caches_[ch];
+            if (cache.peek(page) || pendingFills_.count(page) ||
                 pendingWritebacks_.count(page)) {
-                driverLock_.release();
+                locks_[ch]->release();
                 return;
             }
             if (!everWritten_[page]) {
-                driverLock_.release();
+                locks_[ch]->release();
                 return; // Nothing to fetch.
             }
             std::uint32_t slot;
-            if (cache_.hasFree()) {
-                slot = cache_.allocate(page);
+            if (cache.hasFree()) {
+                slot = cache.allocate(page);
             } else {
                 // A prefetch may reclaim a CLEAN victim, but must
                 // never trigger a writeback of its own.
-                auto clean = cache_.pickCleanVictim();
+                auto clean = cache.pickCleanVictim();
                 if (!clean) {
-                    driverLock_.release();
+                    locks_[ch]->release();
                     return;
                 }
-                CacheSlot prior = cache_.beginEvict(*clean);
+                CacheSlot prior = cache.beginEvict(*clean);
                 pageTable_.unmap(prior.devPage);
-                cache_.rebind(*clean, page);
+                cache.rebind(*clean, page);
                 slot = *clean;
             }
             pendingFills_[page];
-            driverLock_.release();
+            locks_[ch]->release();
             stats_.prefetchesIssued.inc();
 
             nvmc::CpCommand cmd;
             cmd.opcode = nvmc::CpOpcode::Cachefill;
             cmd.dramSlot = slot;
-            cmd.nandPage = page;
+            cmd.nandPage = localPage(page);
             stats_.cachefills.inc();
-            cpTransaction(cmd, [this, page, slot] {
-                auto finish = [this, page, slot] {
-                    driverLock_.acquire([this, page, slot] {
-                        cache_.finishFill(slot);
+            cpTransaction(ch, cmd, [this, page, slot, ch] {
+                auto finish = [this, page, slot, ch] {
+                    locks_[ch]->acquire([this, page, slot, ch] {
+                        DramCache& cache = *caches_[ch];
+                        cache.finishFill(slot);
                         if (!cfg_.trackDirty)
-                            cache_.markDirty(slot);
+                            cache.markDirty(slot);
                         pageTable_.map(page, slot);
-                        driverLock_.release();
-                        writeMetadata(slot, [this, page] {
+                        locks_[ch]->release();
+                        writeMetadata(ch, slot, [this, page] {
                             fillCompleted(page);
                         });
                     });
                 };
                 if (cfg_.invalidateAfterFill)
-                    invalidateSlotLines(slot, finish);
+                    invalidateSlotLines(ch, slot, finish);
                 else
                     finish();
             });
@@ -499,9 +540,11 @@ NvdcDriver::prefetchFill(std::uint64_t page)
 }
 
 void
-NvdcDriver::flushSlotLines(std::uint32_t slot, Callback done)
+NvdcDriver::flushSlotLines(std::uint32_t channel, std::uint32_t slot,
+                           Callback done)
 {
-    flushLinesFrom(layout_.slotAddr(slot), 0, std::move(done));
+    flushLinesFrom(flatAddr(channel, layouts_[channel].slotAddr(slot)),
+                   0, std::move(done));
 }
 
 void
@@ -524,27 +567,30 @@ NvdcDriver::flushLinesFrom(Addr base, std::uint32_t line,
 }
 
 void
-NvdcDriver::invalidateSlotLines(std::uint32_t slot, Callback done)
+NvdcDriver::invalidateSlotLines(std::uint32_t channel,
+                                std::uint32_t slot, Callback done)
 {
     // Invalidation uses clflush too; the lines are clean (the CPU did
     // not write them since the fill), so no write-back traffic — just
     // instruction cost, modelled as one flush per line.
-    flushSlotLines(slot, std::move(done));
+    flushSlotLines(channel, slot, std::move(done));
 }
 
 void
-NvdcDriver::writeMetadata(std::uint32_t slot, Callback done)
+NvdcDriver::writeMetadata(std::uint32_t channel, std::uint32_t slot,
+                          Callback done)
 {
+    DramCache& cache = *caches_[channel];
     std::uint32_t first = (slot / 4) * 4;
-    Addr addr = layout_.metadataAddr(first);
+    Addr addr = flatAddr(channel, layouts_[channel].metadataAddr(first));
     NVDC_ASSERT(addr % 64 == 0, "metadata line misaligned");
 
     std::array<std::uint8_t, 64> line{};
     for (std::uint32_t i = 0; i < 4; ++i) {
         std::uint32_t s = first + i;
-        if (s >= cache_.slotCount())
+        if (s >= cache.slotCount())
             break;
-        const CacheSlot& cs = cache_.slot(s);
+        const CacheSlot& cs = cache.slot(s);
         nvmc::SlotMetadata m;
         m.nandPage = cs.devPage;
         m.valid = cs.state != CacheSlot::State::Free;
@@ -560,70 +606,79 @@ NvdcDriver::writeMetadata(std::uint32_t slot, Callback done)
 }
 
 void
-NvdcDriver::acquireCpIndex(std::function<void(std::uint32_t)> granted)
+NvdcDriver::acquireCpIndex(std::uint32_t channel,
+                           std::function<void(std::uint32_t)> granted)
 {
-    if (!freeCpIndices_.empty()) {
-        std::uint32_t i = freeCpIndices_.back();
-        freeCpIndices_.pop_back();
+    auto& free_indices = freeCpIndices_[channel];
+    if (!free_indices.empty()) {
+        std::uint32_t i = free_indices.back();
+        free_indices.pop_back();
         granted(i);
         return;
     }
-    cpWaiters_.push_back(std::move(granted));
+    cpWaiters_[channel].push_back(std::move(granted));
 }
 
 void
-NvdcDriver::releaseCpIndex(std::uint32_t index)
+NvdcDriver::releaseCpIndex(std::uint32_t channel, std::uint32_t index)
 {
-    if (!cpWaiters_.empty()) {
-        auto next = std::move(cpWaiters_.front());
-        cpWaiters_.pop_front();
+    auto& waiters = cpWaiters_[channel];
+    if (!waiters.empty()) {
+        auto next = std::move(waiters.front());
+        waiters.pop_front();
         eq_.scheduleAfter(0, [next = std::move(next), index] {
             next(index);
         });
         return;
     }
-    freeCpIndices_.push_back(index);
+    freeCpIndices_[channel].push_back(index);
 }
 
 std::uint8_t
-NvdcDriver::nextPhase(std::uint32_t index)
+NvdcDriver::nextPhase(std::uint32_t channel, std::uint32_t index)
 {
-    std::uint8_t p = cpPhase_[index];
+    std::uint8_t p = cpPhase_[channel][index];
     p = (p == 255) ? 1 : p + 1;
-    cpPhase_[index] = p;
+    cpPhase_[channel][index] = p;
     return p;
 }
 
 void
-NvdcDriver::cpTransaction(nvmc::CpCommand cmd, Callback done)
+NvdcDriver::cpTransaction(std::uint32_t channel, nvmc::CpCommand cmd,
+                          Callback done)
 {
-    acquireCpIndex([this, cmd, done = std::move(done)](
-                       std::uint32_t index) mutable {
-        eq_.scheduleAfter(cfg_.cpWriteCost, [this, cmd, index,
+    acquireCpIndex(channel, [this, channel, cmd,
+                             done = std::move(done)](
+                                std::uint32_t index) mutable {
+        eq_.scheduleAfter(cfg_.cpWriteCost, [this, channel, cmd, index,
                                              done = std::move(done)]()
                               mutable {
             nvmc::CpCommand final_cmd = cmd;
-            final_cmd.phase = nextPhase(index);
+            final_cmd.phase = nextPhase(channel, index);
 
             auto line = std::make_shared<
                 std::array<std::uint8_t, 64>>();
             nvmc::encodeCpCommand(final_cmd, line->data());
 
-            Addr addr = layout_.commandAddr(index);
+            Addr addr =
+                flatAddr(channel, layouts_[channel].commandAddr(index));
             std::uint8_t phase = final_cmd.phase;
             // Store the command, then clflush + sfence so the FPGA's
             // next poll sees it in DRAM.
             cacheModel_.store(addr, line->data(), [this, addr, line,
-                                                   index, phase,
+                                                   channel, index,
+                                                   phase,
                                                    done =
                                                        std::move(done)]()
                                   mutable {
-                cacheModel_.clflush(addr, [this, index, phase, line,
+                cacheModel_.clflush(addr, [this, channel, index, phase,
+                                           line,
                                            done = std::move(done)]()
                                         mutable {
-                    pollAck(index, phase, [this, index,
-                                           done = std::move(done)] {
-                        releaseCpIndex(index);
+                    pollAck(channel, index, phase,
+                            [this, channel, index,
+                             done = std::move(done)] {
+                        releaseCpIndex(channel, index);
                         done();
                     });
                 });
@@ -633,17 +688,17 @@ NvdcDriver::cpTransaction(nvmc::CpCommand cmd, Callback done)
 }
 
 void
-NvdcDriver::pollAck(std::uint32_t index, std::uint8_t phase,
-                    Callback done)
+NvdcDriver::pollAck(std::uint32_t channel, std::uint32_t index,
+                    std::uint8_t phase, Callback done)
 {
     stats_.ackPolls.inc();
-    Addr addr = layout_.ackAddr(index);
+    Addr addr = flatAddr(channel, layouts_[channel].ackAddr(index));
     // Invalidate first: the FPGA writes the ack behind the CPU
     // cache's back (paper §V-B).
     cacheModel_.invalidate(addr);
     auto buf = std::make_shared<std::array<std::uint8_t, 64>>();
-    cacheModel_.load(addr, buf->data(), [this, index, phase, buf,
-                                         done = std::move(done)]()
+    cacheModel_.load(addr, buf->data(), [this, channel, index, phase,
+                                         buf, done = std::move(done)]()
                          mutable {
         nvmc::CpAck ack = nvmc::decodeCpAck(buf->data());
         if (ack.phase == phase && ack.status == 1) {
@@ -651,9 +706,9 @@ NvdcDriver::pollAck(std::uint32_t index, std::uint8_t phase,
             return;
         }
         eq_.scheduleAfter(cfg_.ackPollInterval,
-                          [this, index, phase,
+                          [this, channel, index, phase,
                            done = std::move(done)]() mutable {
-            pollAck(index, phase, std::move(done));
+            pollAck(channel, index, phase, std::move(done));
         });
     });
 }
@@ -697,7 +752,36 @@ NvdcDriver::registerStats(StatRegistry& reg,
     reg.addCounter(prefix + ".prefetch_hits", stats_.prefetchHits);
     reg.addHistogram(prefix + ".hit_latency", stats_.hitLatency);
     reg.addHistogram(prefix + ".fault_latency", stats_.faultLatency);
-    cache_.registerStats(reg, prefix + ".cache");
+    if (channels_ == 1) {
+        caches_[0]->registerStats(reg, prefix + ".cache");
+        return;
+    }
+    // Multi-channel: per-module cache blocks plus the aggregate the
+    // flat cache.* aliases and sweep tooling key on.
+    for (std::uint32_t ch = 0; ch < channels_; ++ch)
+        caches_[ch]->registerStats(
+            reg, prefix + ".ch" + std::to_string(ch) + ".cache");
+    reg.add(prefix + ".cache.hits", [this] {
+        double v = 0;
+        for (const auto& c : caches_)
+            v += static_cast<double>(c->stats().hits.value());
+        return v;
+    });
+    reg.add(prefix + ".cache.misses", [this] {
+        double v = 0;
+        for (const auto& c : caches_)
+            v += static_cast<double>(c->stats().misses.value());
+        return v;
+    });
+    reg.add(prefix + ".cache.hit_rate", [this] {
+        double hits = 0, misses = 0;
+        for (const auto& c : caches_) {
+            hits += static_cast<double>(c->stats().hits.value());
+            misses += static_cast<double>(c->stats().misses.value());
+        }
+        double total = hits + misses;
+        return total == 0 ? 0.0 : hits / total;
+    });
 }
 
 } // namespace nvdimmc::driver

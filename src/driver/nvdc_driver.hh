@@ -15,6 +15,15 @@
  * lines after a cachefill. Both steps can be disabled for failure
  * injection; the CPU cache model then serves stale data, as real
  * hardware would.
+ *
+ * Multi-channel topology: with N modules the device pages interleave
+ * round-robin across channels (page p is owned by module p % N, at
+ * module-local page p / N). Each channel has its own DRAM cache
+ * slice, its own driver lock and its own CP command queue — per-module
+ * resources in hardware, per-module locks in a production driver — so
+ * independent channels fault and serve hits concurrently. With N == 1
+ * every routing function is the identity and the driver behaves
+ * byte-identically to the single-channel original.
  */
 
 #ifndef NVDIMMC_DRIVER_NVDC_DRIVER_HH
@@ -33,6 +42,7 @@
 #include "common/stats.hh"
 #include "cpu/cache_model.hh"
 #include "cpu/memcpy_engine.hh"
+#include "dram/channel_interleave.hh"
 #include "driver/dram_cache.hh"
 #include "driver/page_table.hh"
 #include "nvmc/cp_protocol.hh"
@@ -88,7 +98,8 @@ struct NvdcDriverConfig
     bool invalidateAfterFill = true;
     /** Merge writeback+cachefill into one CP command (ablation). */
     bool mergedWbCf = false;
-    /** CP queue depth the driver uses (<= layout.maxCommands). */
+    /** CP queue depth the driver uses per channel
+     *  (<= layout.maxCommands). */
     std::uint32_t cpQueueDepth = 1;
 
     /** @name Sequential prefetch (paper §VII-C, ref [37]).
@@ -134,6 +145,7 @@ class NvdcDriver
     static constexpr std::uint32_t kPageBytes = 4096;
 
     /**
+     * Single-channel constructor (the PoC machine).
      * @param backend_pages logical device size in 4 KB pages (the
      *        FTL's 120 GB view).
      */
@@ -141,6 +153,19 @@ class NvdcDriver
                cpu::MemcpyEngine& engine,
                const nvmc::ReservedLayout& layout,
                std::uint64_t backend_pages,
+               const NvdcDriverConfig& cfg);
+
+    /**
+     * Multi-channel constructor: one reserved layout per module (in
+     * channel order) and the *total* device size across all modules.
+     * Addresses handed to the CPU layer are flat interleaved addresses
+     * consistent with a page-granular ChannelInterleave over the same
+     * channel count.
+     */
+    NvdcDriver(EventQueue& eq, cpu::CpuCacheModel& cache_model,
+               cpu::MemcpyEngine& engine,
+               std::vector<const nvmc::ReservedLayout*> layouts,
+               std::uint64_t backend_pages_total,
                const NvdcDriverConfig& cfg);
 
     /** Device capacity in bytes (the /dev/nvdc0 size). */
@@ -166,8 +191,8 @@ class NvdcDriver
 
     /** @name Introspection (diagnostics / tests). */
     /** @{ */
-    bool lockHeld() const { return driverLock_.held(); }
-    std::size_t lockWaiters() const { return driverLock_.waiters(); }
+    bool lockHeld() const { return locks_[0]->held(); }
+    std::size_t lockWaiters() const { return locks_[0]->waiters(); }
     std::size_t pendingFillCount() const { return pendingFills_.size(); }
     std::size_t pendingWritebackCount() const
     {
@@ -175,17 +200,39 @@ class NvdcDriver
     }
     /** @} */
 
-    DramCache& cache() { return cache_; }
-    const DramCache& cache() const { return cache_; }
+    /** @name Channel topology. */
+    /** @{ */
+    std::uint32_t channelCount() const { return channels_; }
+    /** Owning channel of a device page (round-robin). */
+    std::uint32_t channelOf(std::uint64_t page) const
+    {
+        return il_.pageChannel(page);
+    }
+    DramCache& cache(std::uint32_t channel) { return *caches_[channel]; }
+    const DramCache& cache(std::uint32_t channel) const
+    {
+        return *caches_[channel];
+    }
+    const nvmc::ReservedLayout& layout(std::uint32_t channel) const
+    {
+        return layouts_[channel];
+    }
+    /** @} */
+
+    /** Channel-0 cache (the only one on a single-channel system). */
+    DramCache& cache() { return *caches_[0]; }
+    const DramCache& cache() const { return *caches_[0]; }
     PageTable& pageTable() { return pageTable_; }
     const NvdcDriverStats& stats() const { return stats_; }
 
     /** Register driver counters + hit/fault latency histograms under
-     *  @p prefix, and the DRAM cache under @p prefix ".cache". */
+     *  @p prefix, and the DRAM cache under @p prefix ".cache" (on a
+     *  multi-channel driver: per-channel ".ch<i>.cache" blocks plus
+     *  aggregate ".cache.hits/misses/hit_rate"). */
     void registerStats(StatRegistry& reg,
                        const std::string& prefix) const;
     const NvdcDriverConfig& config() const { return cfg_; }
-    const nvmc::ReservedLayout& layout() const { return layout_; }
+    const nvmc::ReservedLayout& layout() const { return layouts_[0]; }
 
   private:
     struct Segment
@@ -218,21 +265,49 @@ class NvdcDriver
     Tick postCost(const Segment& seg) const;
     Tick lockCost(const Segment& seg) const;
 
+    /** @name Per-page channel routing. */
+    /** @{ */
+    DramCache& cacheFor(std::uint64_t page)
+    {
+        return *caches_[channelOf(page)];
+    }
+    SimMutex& lockFor(std::uint64_t page)
+    {
+        return *locks_[channelOf(page)];
+    }
+    /** Flat interleaved address of a channel-local DRAM address. */
+    Addr flatAddr(std::uint32_t channel, Addr local) const
+    {
+        return il_.flatten(channel, local);
+    }
+    /** Module-local NAND page index for a CP command field. */
+    std::uint64_t localPage(std::uint64_t page) const
+    {
+        return il_.localPage(page);
+    }
+    /** @} */
+
     /** Flush (or invalidate) every line of a slot, chained. */
-    void flushSlotLines(std::uint32_t slot, Callback done);
+    void flushSlotLines(std::uint32_t channel, std::uint32_t slot,
+                        Callback done);
     void flushLinesFrom(Addr base, std::uint32_t line, Callback done);
-    void invalidateSlotLines(std::uint32_t slot, Callback done);
+    void invalidateSlotLines(std::uint32_t channel, std::uint32_t slot,
+                             Callback done);
 
     /** Write the metadata line covering @p slot into DRAM. */
-    void writeMetadata(std::uint32_t slot, Callback done);
+    void writeMetadata(std::uint32_t channel, std::uint32_t slot,
+                       Callback done);
 
-    /** @name CP channel. */
+    /** @name CP channel (one command queue per module). */
     /** @{ */
-    void acquireCpIndex(std::function<void(std::uint32_t)> granted);
-    void releaseCpIndex(std::uint32_t index);
-    void cpTransaction(nvmc::CpCommand cmd, Callback done);
-    void pollAck(std::uint32_t index, std::uint8_t phase, Callback done);
-    std::uint8_t nextPhase(std::uint32_t index);
+    void acquireCpIndex(std::uint32_t channel,
+                        std::function<void(std::uint32_t)> granted);
+    void releaseCpIndex(std::uint32_t channel, std::uint32_t index);
+    void cpTransaction(std::uint32_t channel, nvmc::CpCommand cmd,
+                       Callback done);
+    void pollAck(std::uint32_t channel, std::uint32_t index,
+                 std::uint8_t phase, Callback done);
+    std::uint8_t nextPhase(std::uint32_t channel, std::uint32_t index);
     /** @} */
 
     /** Complete a pending fill and wake waiters. */
@@ -246,20 +321,26 @@ class NvdcDriver
     EventQueue& eq_;
     cpu::CpuCacheModel& cacheModel_;
     cpu::MemcpyEngine& engine_;
-    nvmc::ReservedLayout layout_;
+    std::vector<nvmc::ReservedLayout> layouts_;
     std::uint64_t backendPages_;
     NvdcDriverConfig cfg_;
 
-    DramCache cache_;
+    std::uint32_t channels_;
+    /** Page-granular interleave (slots never stripe across modules;
+     *  see dram/channel_interleave.hh). */
+    dram::ChannelInterleave il_;
+
+    std::vector<std::unique_ptr<DramCache>> caches_;
     PageTable pageTable_;
-    SimMutex driverLock_;
+    std::vector<std::unique_ptr<SimMutex>> locks_;
     /** Blocks that have ever been written (or declared written via
      *  markEverWritten); reads of other blocks are zero-fills. */
     std::vector<bool> everWritten_;
 
-    std::vector<std::uint32_t> freeCpIndices_;
-    std::deque<std::function<void(std::uint32_t)>> cpWaiters_;
-    std::vector<std::uint8_t> cpPhase_;
+    std::vector<std::vector<std::uint32_t>> freeCpIndices_;
+    std::vector<std::deque<std::function<void(std::uint32_t)>>>
+        cpWaiters_;
+    std::vector<std::vector<std::uint8_t>> cpPhase_;
 
     /** Pages whose fill is in flight -> waiters to retry. */
     std::unordered_map<std::uint64_t, std::vector<Callback>>

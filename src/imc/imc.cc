@@ -16,9 +16,11 @@ Imc::Imc(EventQueue& eq, bus::MemoryBus& bus, const ImcConfig& cfg)
       masterId_(bus.registerMaster("host-imc")),
       shadow_(bus.dram().addressMap(), bus.dram().timing()),
       wpq_(cfg.wpqCap, cfg.wpqWatermark),
-      nextRefreshDue_(cfg.refresh.tREFI),
+      nextRefreshDue_(cfg.refresh.tREFI + cfg.refreshPhase),
       baseRefresh_(cfg.refresh),
-      wakeEvent_([this] { tick(); }, "imc-wake")
+      wakeEvent_([this] { tick(); }, "imc-wake"),
+      trackQueues_(cfg.name + ".queues"),
+      trackRefresh_(cfg.name + ".refresh")
 {
     NVDC_ASSERT(cfg.wpqWatermark <= cfg.wpqCap, "bad WPQ watermark");
     // Refresh must run even while the host is idle: the NVDIMM-C
@@ -114,7 +116,7 @@ Imc::readLine(Addr addr, std::uint8_t* buf, Callback done)
     req.onComplete = std::move(done);
     readQ_.push_back(std::move(req));
     stats_.readsAccepted.inc();
-    trace::counter("imc.queues", "rdq", eq_.now(),
+    trace::counter(trackQueues_.c_str(), "rdq", eq_.now(),
                    static_cast<double>(readQ_.size()));
     wake(eq_.now());
     return true;
@@ -142,7 +144,7 @@ Imc::writeLine(Addr addr, const std::uint8_t* data, Callback done)
     }
     wpq_.push(std::move(req));
     stats_.writesAccepted.inc();
-    trace::counter("imc.queues", "wpq", eq_.now(),
+    trace::counter(trackQueues_.c_str(), "wpq", eq_.now(),
                    static_cast<double>(wpq_.size()));
     wake(eq_.now());
     // Posted: complete as soon as the store is in the WPQ.
@@ -283,8 +285,9 @@ Imc::tick()
         // real tRFC, the rest is the NVMC's window.
         blockedUntil_ = now + cfg_.refresh.tRFC;
         if (trace::enabled()) {
-            trace::instant("imc.refresh", "REF", now);
-            trace::duration("imc.refresh", "blocked(programmed tRFC)",
+            trace::instant(trackRefresh_.c_str(), "REF", now);
+            trace::duration(trackRefresh_.c_str(),
+                            "blocked(programmed tRFC)",
                             now, blockedUntil_);
         }
         nextRefreshDue_ += cfg_.refresh.tREFI;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "bus/memory_bus.hh"
@@ -71,6 +72,20 @@ struct ImcConfig
     /** Fixed per-bulk-op cost (row activation etc.). */
     Tick bulkOpOverhead = 40 * kNs;
     /** @} */
+
+    /**
+     * Offset added to the first refresh due tick. In a multi-channel
+     * topology each channel gets a different phase (ch * tREFI / N) so
+     * the programmed-tRFC blackouts — and hence the NVMC DMA windows —
+     * stagger across channels instead of stalling the whole host at
+     * once (refresh-access parallelism). 0 for channel 0 and for
+     * single-channel systems, so their refresh timeline is unchanged.
+     */
+    Tick refreshPhase = 0;
+
+    /** Stat/trace identity of this controller ("imc", "ch1.imc", ...);
+     *  names the Perfetto tracks so channels get separate rows. */
+    std::string name = "imc";
 };
 
 /** iMC statistics. */
@@ -217,6 +232,11 @@ class Imc
     /** Single self-rescheduled wakeup driving tick(); intrusive, so
      *  moving it never allocates. */
     EventFunctionWrapper wakeEvent_;
+
+    /** Cached Perfetto track names ("<name>.queues", "<name>.refresh");
+     *  built once so the hot paths never concatenate strings. */
+    std::string trackQueues_;
+    std::string trackRefresh_;
 
     /** Bulk-model channel occupancy horizon. */
     Tick bulkBusyUntil_ = 0;

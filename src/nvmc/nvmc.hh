@@ -63,6 +63,7 @@ class Nvmc
     const Firmware& firmware() const { return *firmware_; }
     RefreshDetector& detector() { return *detector_; }
     DmaEngine& dma() { return *dma_; }
+    const DmaEngine& dma() const { return *dma_; }
     NvmcDdr4Controller& controller() { return *ctrl_; }
     const NvmcConfig& config() const { return cfg_; }
     const ReservedLayout& layout() const { return layout_; }
