@@ -51,6 +51,10 @@ report(benchmark::State& state, const workload::FioResult& res,
  *      --channels=N     build every system with N memory channels
  *                       (N complete NVDIMM-C modules, page-interleaved;
  *                       default 1 = the PoC machine).
+ *      --threads=N|auto run the sharded parallel-in-time kernel with
+ *                       N executors (auto = one per channel); results
+ *                       are byte-identical for every N >= 1. Default:
+ *                       the classic serial kernel.
  */
 struct Observability
 {
@@ -91,6 +95,12 @@ initObservability(int* argc, char** argv)
             int n = std::atoi(a + 11);
             if (n >= 1)
                 benchChannels() = static_cast<std::uint32_t>(n);
+        } else if (std::strcmp(a, "--threads=auto") == 0) {
+            benchThreads() = kBenchThreadsAuto;
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            int n = std::atoi(a + 10);
+            if (n >= 0)
+                benchThreads() = static_cast<std::uint32_t>(n);
         } else {
             argv[out++] = argv[i];
         }

@@ -36,6 +36,29 @@ benchChannels()
     return channels;
 }
 
+/**
+ * Simulation thread count every bench system is built with (the
+ * --threads=N|auto knob). 0 = classic serial kernel (default);
+ * kBenchThreadsAuto = one shard executor per channel; any other N
+ * runs the sharded kernel with N executors.
+ */
+inline constexpr std::uint32_t kBenchThreadsAuto = ~std::uint32_t{0};
+
+inline std::uint32_t&
+benchThreads()
+{
+    static std::uint32_t threads = 0;
+    return threads;
+}
+
+/** Resolve the --threads request against a concrete channel count. */
+inline std::uint32_t
+resolvedBenchThreads(std::uint32_t channels)
+{
+    std::uint32_t t = benchThreads();
+    return t == kBenchThreadsAuto ? channels : t;
+}
+
 /** Device access function over an NVDIMM-C system (timing-only). */
 inline workload::AccessFn
 nvdcAccess(core::NvdimmcSystem& sys)
@@ -74,6 +97,8 @@ makeCachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
     cfg.channels = benchChannels();
     if (tweak)
         tweak(cfg);
+    if (cfg.threads == 0)
+        cfg.threads = resolvedBenchThreads(cfg.channels);
     auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
     // Leave 64 slots per channel free so hits never evict.
     std::uint32_t slots = sys->totalSlotCount();
@@ -102,6 +127,8 @@ makeUncachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
     cfg.channels = benchChannels();
     if (tweak)
         tweak(cfg);
+    if (cfg.threads == 0)
+        cfg.threads = resolvedBenchThreads(cfg.channels);
     auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
     sys->precondition(0, sys->totalSlotCount(), true);
     // The paper's uncached experiments run on a device whose blocks

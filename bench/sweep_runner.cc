@@ -10,8 +10,14 @@
  * the sweep twice (serial, then parallel) and comparing the formatted
  * results.
  *
+ * The "parallel" sweep exercises the other axis of parallelism — the
+ * sharded parallel-in-time kernel *inside* one simulation — proving
+ * executors=N byte-identical to executors=1 and recording the
+ * threads x channels wall-clock scaling study (JSON `perf` blocks).
+ *
  * Usage:
- *   sweep_runner [--sweep ablation|variants|cache_policy|channels|all]
+ *   sweep_runner [--sweep ablation|variants|cache_policy|channels
+ *                        |parallel|all]
  *                [--jobs N] [--json FILE] [--verify] [--list]
  */
 
@@ -42,10 +48,16 @@ namespace
 
 using workload::FioConfig;
 
-/** One sweep point's outcome: named metrics plus host wall time. */
+/**
+ * One sweep point's outcome: named metrics plus host wall time.
+ * `perf` carries host-machine measurements (wall clocks, speedups);
+ * they land in the JSON export only, never in formatPoint, so the
+ * --verify serial-vs-parallel comparison stays deterministic.
+ */
 struct PointResult
 {
     std::vector<std::pair<std::string, double>> metrics;
+    std::vector<std::pair<std::string, double>> perf;
     std::string error;
     double wallMs = 0.0;
 };
@@ -364,6 +376,132 @@ makeChannelsSweep()
 }
 
 /**
+ * One measured run for the parallel-kernel sweep: a cached random
+ * 4 KB FIO load on an N-channel system built with cfg.threads =
+ * threads (0 = classic serial kernel, >= 1 = sharded kernel with that
+ * many executors). The thread count travels through the config tweak
+ * so points stay safe to run concurrently.
+ */
+struct ShardedRun
+{
+    workload::FioResult fio;
+    std::string stats; ///< dumpStats text (deterministic).
+    double wallMs = 0.0;
+};
+
+ShardedRun
+runShardedFio(std::uint32_t channels, std::uint32_t threads,
+              FioConfig::Pattern pattern)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto sys = makeCachedSystem([=](core::SystemConfig& c) {
+        c.channels = channels;
+        c.threads = threads;
+    });
+    FioConfig cfg;
+    cfg.pattern = pattern;
+    cfg.blockSize = 4096;
+    cfg.threads = 8;
+    cfg.regionBytes = cachedRegionBytes(*sys);
+    cfg.rampTime = 2 * kMs;
+    cfg.runTime = 25 * kMs;
+    ShardedRun run;
+    run.fio = runFio(sys->eq(), nvdcAccess(*sys), cfg);
+    std::ostringstream stats;
+    sys->dumpStats(stats);
+    run.stats = stats.str();
+    run.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    return run;
+}
+
+/**
+ * Byte-exactness proof for the sharded kernel: the same machine and
+ * workload run twice in-point — executors=1 (the reference
+ * interleaving) and executors=N — and every FioResult field plus the
+ * full dumpStats text must match exactly. A divergence sets the
+ * point's error, which fails the run (rc=1). Both wall clocks land in
+ * the JSON `perf` block; the metrics carry only deterministic values.
+ */
+PointResult
+runParallelVerifyPoint(std::uint32_t channels, std::uint32_t threads,
+                       FioConfig::Pattern pattern)
+{
+    ShardedRun ser = runShardedFio(channels, 1, pattern);
+    ShardedRun par = runShardedFio(channels, threads, pattern);
+    const bool ok = ser.fio.mbps == par.fio.mbps &&
+                    ser.fio.kiops == par.fio.kiops &&
+                    ser.fio.ops == par.fio.ops &&
+                    ser.fio.meanLatency == par.fio.meanLatency &&
+                    ser.fio.p50 == par.fio.p50 &&
+                    ser.fio.p99 == par.fio.p99 &&
+                    ser.stats == par.stats;
+    PointResult out = fioPoint(par.fio);
+    out.metrics.emplace_back("channels",
+                             static_cast<double>(channels));
+    out.metrics.emplace_back("threads", static_cast<double>(threads));
+    out.metrics.emplace_back("verify_ok", ok ? 1.0 : 0.0);
+    out.perf = {{"wall_serial_ms", ser.wallMs},
+                {"wall_parallel_ms", par.wallMs},
+                {"speedup_x",
+                 par.wallMs > 0 ? ser.wallMs / par.wallMs : 0.0}};
+    if (!ok)
+        out.error = "sharded executors=" + std::to_string(threads) +
+                    " diverged from executors=1";
+    return out;
+}
+
+/** One threads x channels scaling-matrix point. */
+PointResult
+runParallelMatrixPoint(std::uint32_t channels, std::uint32_t threads)
+{
+    ShardedRun run = runShardedFio(channels, threads,
+                                   FioConfig::Pattern::RandRead);
+    PointResult out = fioPoint(run.fio);
+    out.metrics.emplace_back("channels",
+                             static_cast<double>(channels));
+    out.metrics.emplace_back("threads", static_cast<double>(threads));
+    out.perf = {{"wall_run_ms", run.wallMs}};
+    return out;
+}
+
+/**
+ * The parallel-in-time kernel sweep (EXPERIMENTS.md): verify/<N>ch
+ * points prove executors=N byte-identical to executors=1 on the same
+ * sharded machine; matrix/<N>ch_t<T> points record the wall-clock
+ * scaling study folded into BENCH_parallel.json. threads=0 is the
+ * classic serial kernel baseline (a different modeled machine — no
+ * host link — so its throughput differs slightly by design);
+ * threads >= 1 is the sharded kernel.
+ */
+Sweep
+makeParallelSweep()
+{
+    Sweep sweep{"parallel", {}};
+    auto& p = sweep.points;
+    for (std::uint32_t n : {2u, 4u}) {
+        p.push_back({"verify/" + std::to_string(n) + "ch", [n] {
+            return runParallelVerifyPoint(
+                n, n, FioConfig::Pattern::RandRead);
+        }});
+    }
+    for (std::uint32_t n : {1u, 2u, 4u}) {
+        std::vector<std::uint32_t> threads = {0u, 1u};
+        if (n > 1)
+            threads.push_back(n);
+        for (std::uint32_t t : threads) {
+            p.push_back({"matrix/" + std::to_string(n) + "ch_t" +
+                             std::to_string(t),
+                         [n, t] {
+                             return runParallelMatrixPoint(n, t);
+                         }});
+        }
+    }
+    return sweep;
+}
+
+/**
  * Run every point of @p sweep on @p jobs worker threads. Points are
  * claimed from an atomic counter and results land in a slot indexed
  * by point, so the output order (and content) never depends on
@@ -429,7 +567,9 @@ writeJson(std::ostream& os,
           unsigned jobs)
 {
     os.precision(17);
-    os << "{\n  \"jobs\": " << jobs << ",\n  \"sweeps\": [\n";
+    os << "{\n  \"jobs\": " << jobs << ",\n  \"host_cores\": "
+       << std::thread::hardware_concurrency()
+       << ",\n  \"sweeps\": [\n";
     for (std::size_t s = 0; s < all.size(); ++s) {
         const auto& [sweep, results] = all[s];
         os << "    {\"name\": \"" << sweep->name
@@ -442,6 +582,15 @@ writeJson(std::ostream& os,
             } else {
                 for (const auto& [key, value] : results[i].metrics)
                     os << ", \"" << key << "\": " << value;
+            }
+            if (!results[i].perf.empty()) {
+                os << ", \"perf\": {";
+                for (std::size_t k = 0; k < results[i].perf.size();
+                     ++k)
+                    os << (k ? ", " : "") << "\""
+                       << results[i].perf[k].first
+                       << "\": " << results[i].perf[k].second;
+                os << "}";
             }
             os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
         }
@@ -478,7 +627,8 @@ sweepMain(int argc, char** argv)
         } else if (arg == "--list") {
             for (const Sweep& sweep :
                  {makeAblationSweep(), makeVariantsSweep(),
-                  makeCachePolicySweep(), makeChannelsSweep()}) {
+                  makeCachePolicySweep(), makeChannelsSweep(),
+                  makeParallelSweep()}) {
                 for (const auto& point : sweep.points)
                     std::cout << sweep.name << "/" << point.name
                               << "\n";
@@ -488,7 +638,7 @@ sweepMain(int argc, char** argv)
             std::cout
                 << "usage: sweep_runner"
                    " [--sweep ablation|variants|cache_policy|channels"
-                   "|all]\n"
+                   "|parallel|all]\n"
                    "                    [--jobs N] [--json FILE]"
                    " [--verify] [--list]\n";
             return 0;
@@ -514,6 +664,8 @@ sweepMain(int argc, char** argv)
         sweeps.push_back(makeCachePolicySweep());
     if (want("channels"))
         sweeps.push_back(makeChannelsSweep());
+    if (want("parallel"))
+        sweeps.push_back(makeParallelSweep());
     if (sweeps.empty())
         fatal("no sweep matches ", wanted.front());
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/shard.hh"
 
 namespace nvdimmc
 {
@@ -53,9 +54,21 @@ EventQueue::fireNext()
     return true;
 }
 
+bool
+EventQueue::runOne()
+{
+    if (coord_)
+        return coord_->runOne();
+    return fireNext();
+}
+
 void
 EventQueue::runUntil(Tick when)
 {
+    if (coord_) {
+        coord_->runUntil(when);
+        return;
+    }
     NVDC_ASSERT(when >= now_, "runUntil into the past");
     for (;;) {
         skipDead();
@@ -69,10 +82,32 @@ EventQueue::runUntil(Tick when)
 std::uint64_t
 EventQueue::runAll(std::uint64_t max_events)
 {
+    if (coord_)
+        return coord_->runAll(max_events);
     std::uint64_t n = 0;
     while (n < max_events && fireNext())
         ++n;
     return n;
+}
+
+void
+EventQueue::runWindow(Tick end)
+{
+    NVDC_ASSERT(end >= now_, "runWindow into the past");
+    for (;;) {
+        skipDead();
+        if (heap_.empty() || heap_.front().when >= end)
+            break;
+        fireNext();
+    }
+    now_ = end;
+}
+
+Tick
+EventQueue::peekNextTick()
+{
+    skipDead();
+    return heap_.empty() ? kTickNever : heap_.front().when;
 }
 
 void

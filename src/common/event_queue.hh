@@ -56,6 +56,7 @@ namespace nvdimmc
 {
 
 class EventQueue;
+class ShardCoordinator;
 
 /**
  * Intrusive event base class. Subclass (or use EventFunctionWrapper)
@@ -212,13 +213,18 @@ class EventQueue
     /**
      * Fire the single earliest event.
      * @return false if the queue was empty.
+     *
+     * On a coordinated (sharded) host queue this runs one conservative
+     * sync window across every shard instead, returning false once no
+     * shard has work left.
      */
-    bool runOne() { return fireNext(); }
+    bool runOne();
 
     /**
      * Run every event with tick <= @p when, then advance now() to
      * @p when even if the queue drained (or was fully cancelled)
-     * earlier.
+     * earlier. On a coordinated host queue the whole sharded system
+     * advances to @p when in conservative quantum windows.
      */
     void runUntil(Tick when);
 
@@ -230,6 +236,27 @@ class EventQueue
      * @return number of events fired.
      */
     std::uint64_t runAll(std::uint64_t max_events = ~std::uint64_t{0});
+
+    /**
+     * Fire every event with tick strictly before @p end, then advance
+     * now() to @p end. The shard execution primitive: a window
+     * [now, end) is exclusive of its right edge so an event scheduled
+     * exactly at a quantum boundary fires in the next window, on
+     * whichever shard owns it, after mailbox delivery.
+     */
+    void runWindow(Tick end);
+
+    /** Earliest pending event tick, or kTickNever if none. */
+    Tick peekNextTick();
+
+    /**
+     * Attach this queue to a shard coordinator: the public run
+     * methods (runOne/runUntil/runFor/runAll) then drive the whole
+     * coordinated system so existing workloads and benches work
+     * unchanged on a sharded topology. The coordinator itself always
+     * executes queues through runWindow(), which never delegates.
+     */
+    void setCoordinator(ShardCoordinator* coord) { coord_ = coord; }
 
     /** Total events fired since construction. */
     std::uint64_t eventsFired() const { return fired_; }
@@ -368,6 +395,7 @@ class EventQueue
     std::uint64_t nextSeq_ = 1;
     std::size_t livePending_ = 0;
     std::uint64_t fired_ = 0;
+    ShardCoordinator* coord_ = nullptr;
 };
 
 } // namespace nvdimmc

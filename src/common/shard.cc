@@ -1,0 +1,284 @@
+#include "common/shard.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace nvdimmc
+{
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spin briefly, then fall back to yielding: the sharded kernel must
+ *  stay live when executors outnumber cores (CI runners, laptops). */
+template <typename Pred>
+void
+spinWait(Pred&& ready)
+{
+    for (int i = 0; i < 1024; ++i) {
+        if (ready())
+            return;
+        cpuRelax();
+    }
+    while (!ready())
+        std::this_thread::yield();
+}
+
+} // namespace
+
+ShardCoordinator::ShardCoordinator(EventQueue& host,
+                                   std::vector<EventQueue*> shards,
+                                   Tick quantum, unsigned executors)
+    : host_(host),
+      shards_(std::move(shards)),
+      quantum_(quantum),
+      executors_(std::max(
+          1u, std::min(executors,
+                       static_cast<unsigned>(
+                           std::max<std::size_t>(1, shards_.size()))))),
+      toShard_(shards_.size()),
+      toHost_(shards_.size()),
+      errors_(executors_)
+{
+    NVDC_ASSERT(!shards_.empty(), "sharded system needs >= 1 shard");
+    NVDC_ASSERT(quantum_ > 0, "sync quantum must be positive");
+    for (EventQueue* s : shards_)
+        NVDC_ASSERT(s && s != &host_, "bad shard queue");
+}
+
+ShardCoordinator::~ShardCoordinator()
+{
+    if (!workers_.empty()) {
+        quit_.store(true, std::memory_order_release);
+        for (auto& w : workers_)
+            w.join();
+    }
+}
+
+std::uint64_t
+ShardCoordinator::totalEventsFired() const
+{
+    std::uint64_t n = host_.eventsFired();
+    for (const EventQueue* s : shards_)
+        n += s->eventsFired();
+    return n;
+}
+
+void
+ShardCoordinator::postToShard(std::uint32_t shard, Tick when, Fn fn)
+{
+    NVDC_ASSERT(shard < shardCount(), "postToShard: bad shard index");
+    // The conservative checker: while a round is in flight the current
+    // window ends at windowEnd_, and a delivery below it could land in
+    // the destination shard's past. A trip here means the sync quantum
+    // exceeds the cross-shard interaction latency.
+    NVDC_ASSERT(!inRound_ ||
+                    when >= windowEnd_.load(std::memory_order_relaxed),
+                "cross-shard message inside the sync window: quantum "
+                "exceeds the conservative lookahead bound");
+    toShard_[shard].msgs.push_back(Msg{when, std::move(fn)});
+}
+
+void
+ShardCoordinator::postToHost(std::uint32_t shard, Tick when, Fn fn)
+{
+    NVDC_ASSERT(shard < shardCount(), "postToHost: bad shard index");
+    toHost_[shard].msgs.push_back(Msg{when, std::move(fn)});
+}
+
+void
+ShardCoordinator::deliverToShards()
+{
+    for (std::uint32_t s = 0; s < shardCount(); ++s) {
+        auto& mb = toShard_[s];
+        for (Msg& m : mb.msgs)
+            shards_[s]->schedule(m.when, std::move(m.fn));
+        mb.msgs.clear();
+    }
+}
+
+Tick
+ShardCoordinator::earliestWork()
+{
+    Tick t = host_.peekNextTick();
+    for (EventQueue* s : shards_)
+        t = std::min(t, s->peekNextTick());
+    return t;
+}
+
+void
+ShardCoordinator::advanceAll(Tick t)
+{
+    for (EventQueue* s : shards_)
+        s->runWindow(t);
+    host_.runWindow(t);
+}
+
+void
+ShardCoordinator::startWorkers()
+{
+    slots_.reserve(executors_ - 1);
+    workers_.reserve(executors_ - 1);
+    for (unsigned e = 1; e < executors_; ++e)
+        slots_.push_back(std::make_unique<WorkerSlot>());
+    for (unsigned e = 1; e < executors_; ++e)
+        workers_.emplace_back([this, e] { workerLoop(e); });
+}
+
+void
+ShardCoordinator::runShardRange(unsigned executor, Tick end)
+{
+    try {
+        for (std::uint32_t s = executor; s < shardCount();
+             s += executors_)
+            shards_[s]->runWindow(end);
+    } catch (...) {
+        errors_[executor] = std::current_exception();
+    }
+}
+
+void
+ShardCoordinator::workerLoop(unsigned executor)
+{
+    WorkerSlot& slot = *slots_[executor - 1];
+    std::uint64_t last = 0;
+    for (;;) {
+        spinWait([&] {
+            return slot.go.load(std::memory_order_acquire) != last ||
+                   quit_.load(std::memory_order_acquire);
+        });
+        std::uint64_t round = slot.go.load(std::memory_order_acquire);
+        if (round == last)
+            return; // quit_ set with no new round pending.
+        last = round;
+        runShardRange(executor,
+                      windowEnd_.load(std::memory_order_relaxed));
+        slot.done.store(round, std::memory_order_release);
+    }
+}
+
+void
+ShardCoordinator::rethrowShardError()
+{
+    for (auto& err : errors_) {
+        if (err) {
+            std::exception_ptr e = err;
+            for (auto& other : errors_)
+                other = nullptr;
+            inRound_ = false;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+ShardCoordinator::round(Tick end)
+{
+    inRound_ = true;
+    ++windows_;
+    windowEnd_.store(end, std::memory_order_relaxed);
+
+    const std::uint32_t n = shardCount();
+    if (executors_ > 1 && workers_.empty())
+        startWorkers();
+
+    if (executors_ == 1) {
+        // The reference interleaving: every parallel schedule must be
+        // indistinguishable from this one.
+        runShardRange(0, end);
+    } else {
+        ++roundId_;
+        for (auto& slot : slots_)
+            slot->go.store(roundId_, std::memory_order_release);
+        runShardRange(0, end);
+        for (auto& slot : slots_)
+            spinWait([&] {
+                return slot->done.load(std::memory_order_acquire) ==
+                       roundId_;
+            });
+    }
+    rethrowShardError();
+
+    // Deterministic merge: concatenating the per-shard mailboxes in
+    // shard order and stable-sorting by tick yields the canonical
+    // (tick, shard, post-order) sequence regardless of which worker
+    // ran which shard.
+    merge_.clear();
+    for (std::uint32_t s = 0; s < n; ++s) {
+        auto& mb = toHost_[s];
+        for (Msg& m : mb.msgs)
+            merge_.push_back(std::move(m));
+        mb.msgs.clear();
+    }
+    std::stable_sort(merge_.begin(), merge_.end(),
+                     [](const Msg& a, const Msg& b) {
+                         return a.when < b.when;
+                     });
+    for (Msg& m : merge_)
+        host_.schedule(m.when, std::move(m.fn));
+    merge_.clear();
+
+    host_.runWindow(end);
+    inRound_ = false;
+}
+
+void
+ShardCoordinator::runUntil(Tick target)
+{
+    NVDC_ASSERT(!inRound_, "re-entrant run on a sharded system");
+    NVDC_ASSERT(target >= host_.now(), "runUntil into the past");
+    for (;;) {
+        deliverToShards();
+        if (host_.now() >= target)
+            break;
+        Tick next = earliestWork();
+        if (next >= target) {
+            // Nothing runnable before the target: one idle jump.
+            advanceAll(target);
+            break;
+        }
+        // The window may start later than now (idle skip) but never
+        // spans more than quantum_ past the earliest event, so every
+        // in-window stamp keeps its lookahead.
+        round(std::min(next + quantum_, target));
+    }
+}
+
+bool
+ShardCoordinator::runOne()
+{
+    NVDC_ASSERT(!inRound_, "re-entrant run on a sharded system");
+    deliverToShards();
+    Tick next = earliestWork();
+    if (next == kTickNever)
+        return false;
+    // A minimal window [next, next+1): shrinking a window below the
+    // quantum is always conservative, and drain loops then leave the
+    // clocks just past the last event — like the serial kernel — so
+    // end-of-run time-normalized stats are quantum-independent.
+    round(next + 1);
+    return true;
+}
+
+std::uint64_t
+ShardCoordinator::runAll(std::uint64_t max_events)
+{
+    std::uint64_t start = totalEventsFired();
+    while (totalEventsFired() - start < max_events && runOne()) {
+    }
+    return totalEventsFired() - start;
+}
+
+} // namespace nvdimmc

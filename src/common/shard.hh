@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Conservative parallel-in-time execution over sharded event queues.
+ *
+ * A sharded simulation splits the machine into one *host* shard (the
+ * CPU-side components: driver, cache model, memcpy engine, workloads)
+ * plus one shard per memory channel (iMC, bus, DRAM, NVMC, FTL,
+ * Z-NAND). Each shard owns a private EventQueue; the channel shards
+ * execute on worker threads while the host shard always runs on the
+ * coordinating thread.
+ *
+ * Correctness rests on a classic conservative-lookahead argument.
+ * Every cross-shard interaction goes through a mailbox message stamped
+ * at least L ticks into the future, where L is the modeled host-link
+ * routing latency (and the binding term of the auto-derived sync
+ * quantum; see core::NvdimmcSystem::quantumBound). Time advances in
+ * windows of at most Q <= L ticks:
+ *
+ *   1. deliver pending host->channel messages into the shard queues
+ *      (their stamps are never below the shard clocks),
+ *   2. run every channel shard's window [W, W+Q) in parallel; channel
+ *      completions do not call host code, they append to per-shard
+ *      channel->host mailboxes,
+ *   3. barrier, then merge the channel->host messages in a
+ *      deterministic order — (tick, channel index, per-mailbox
+ *      sequence) — into the host queue,
+ *   4. run the host window [W, W+Q) on the coordinating thread; host
+ *      calls into the port post messages stamped now+L >= W+Q, so
+ *      nothing can land in a channel's past.
+ *
+ * Because the per-window schedule, the mailbox merge order, and every
+ * message stamp are independent of how shards map onto OS threads,
+ * results are byte-identical for every executor count >= 1 — an
+ * executors=1 run executes the same windows inline with zero atomics,
+ * which is what `--verify` diffs against. Windows with no runnable
+ * event anywhere are skipped in one jump, so idle simulated time is
+ * free, as in the serial kernel.
+ *
+ * The mailboxes are single-producer/single-consumer by construction:
+ * host->channel boxes are filled during the host phase and drained
+ * before the next channel phase; channel->host boxes are filled by
+ * whichever worker runs that shard's window and drained after the
+ * barrier. The barrier's release/acquire pair is the only
+ * synchronization the payloads need.
+ */
+
+#ifndef NVDIMMC_COMMON_SHARD_HH
+#define NVDIMMC_COMMON_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+
+namespace nvdimmc
+{
+
+/**
+ * Barrier-quantum scheduler over one host EventQueue and N channel
+ * shard EventQueues. Owns the worker pool (executors-1 threads,
+ * started lazily on the first parallel window); shard i runs on
+ * executor i % executors, executor 0 being the coordinating thread.
+ */
+class ShardCoordinator
+{
+  public:
+    using Fn = std::function<void()>;
+
+    /**
+     * @param host     the host shard's queue (also the delegation
+     *                 target: host.setCoordinator(this) makes the
+     *                 public run methods drive the whole system).
+     * @param shards   one queue per channel shard, channel order.
+     * @param quantum  conservative sync quantum; the caller must
+     *                 guarantee every cross-shard message is stamped
+     *                 at least @p quantum ticks ahead of the posting
+     *                 shard's clock.
+     * @param executors total executing threads (>= 1); clamped to the
+     *                 shard count.
+     */
+    ShardCoordinator(EventQueue& host, std::vector<EventQueue*> shards,
+                     Tick quantum, unsigned executors);
+    ~ShardCoordinator();
+    ShardCoordinator(const ShardCoordinator&) = delete;
+    ShardCoordinator& operator=(const ShardCoordinator&) = delete;
+
+    Tick quantum() const { return quantum_; }
+    unsigned executors() const { return executors_; }
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+    /** Sync windows executed so far (identical across executor
+     *  counts; idle jumps do not count). */
+    std::uint64_t windows() const { return windows_; }
+    /** Events fired on the host and every shard combined. */
+    std::uint64_t totalEventsFired() const;
+
+    /**
+     * Post @p fn to run on shard @p shard's queue at tick @p when.
+     * Host phase (or pre-run setup) only. The conservative checker
+     * asserts the stamp cannot land in the shard's past — tripping it
+     * means the quantum exceeds the cross-shard latency bound.
+     */
+    void postToShard(std::uint32_t shard, Tick when, Fn fn);
+
+    /**
+     * Post @p fn to run on the host queue at tick @p when. Channel
+     * phase only, called by the worker executing @p shard's window;
+     * delivery happens after the barrier, merged deterministically.
+     */
+    void postToHost(std::uint32_t shard, Tick when, Fn fn);
+
+    /** @name Drive API (EventQueue delegation targets). */
+    /** @{ */
+    void runUntil(Tick target);
+    /** One *minimal* sync window [next, next+1) at the next runnable
+     *  tick — always conservative, and drain loops built on it leave
+     *  every clock just past the last event, independent of the
+     *  quantum (matching serial end-of-run semantics).
+     *  @return false once no shard has pending work. */
+    bool runOne();
+    std::uint64_t runAll(std::uint64_t max_events);
+    /** @} */
+
+  private:
+    struct Msg
+    {
+        Tick when;
+        Fn fn;
+    };
+
+    /** One direction of one shard pair; padded so producers on
+     *  different workers never share a cache line. */
+    struct alignas(64) Mailbox
+    {
+        std::vector<Msg> msgs;
+    };
+
+    struct alignas(64) WorkerSlot
+    {
+        std::atomic<std::uint64_t> go{0};
+        std::atomic<std::uint64_t> done{0};
+    };
+
+    void deliverToShards();
+    Tick earliestWork();
+    /** Advance every clock to @p t; no shard may hold an event
+     *  before it. */
+    void advanceAll(Tick t);
+    /** Execute one window ending at @p end across all shards, then
+     *  the host. */
+    void round(Tick end);
+    void runShardRange(unsigned executor, Tick end);
+    void workerLoop(unsigned executor);
+    void startWorkers();
+    void rethrowShardError();
+
+    EventQueue& host_;
+    std::vector<EventQueue*> shards_;
+    const Tick quantum_;
+    const unsigned executors_;
+
+    std::vector<Mailbox> toShard_; ///< host -> shard i.
+    std::vector<Mailbox> toHost_;  ///< shard i -> host.
+    std::vector<Msg> merge_;       ///< Reused merge scratch.
+
+    bool inRound_ = false;
+    std::uint64_t windows_ = 0;
+
+    std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
+    std::vector<std::exception_ptr> errors_;
+    std::atomic<Tick> windowEnd_{0};
+    std::atomic<bool> quit_{false};
+    std::uint64_t roundId_ = 0;
+};
+
+} // namespace nvdimmc
+
+#endif // NVDIMMC_COMMON_SHARD_HH

@@ -1,8 +1,11 @@
 #include "common/trace.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -35,6 +38,10 @@ struct Rec
 struct Capture
 {
     std::string path;
+    /** Serializes record calls: the sharded kernel's channel shards
+     *  trace concurrently. First-arrival track ids and record order
+     *  are scheduling-dependent; stop() canonicalizes both. */
+    std::mutex mu;
     std::vector<Rec> recs;
     /** Track name -> tid (1-based; 0 is the metadata pseudo-track). */
     std::unordered_map<std::string, std::uint32_t> tracks;
@@ -65,6 +72,51 @@ push(Capture& cap, Rec rec)
     }
     cap.recs.push_back(rec);
     return true;
+}
+
+/**
+ * Canonicalize a finished capture so the written file is identical no
+ * matter how records interleaved across shard workers: renumber
+ * tracks in name order and sort records on a total key. Two runs of a
+ * deterministic simulation produce the same record multiset, so the
+ * sorted file is byte-stable.
+ */
+void
+canonicalize(Capture& cap)
+{
+    std::vector<std::uint32_t> order(cap.trackNames.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return cap.trackNames[a] < cap.trackNames[b];
+              });
+    std::vector<std::uint32_t> remap(order.size());
+    std::vector<std::string> names(order.size());
+    for (std::uint32_t newIdx = 0; newIdx < order.size(); ++newIdx) {
+        remap[order[newIdx]] = newIdx + 1;
+        names[newIdx] = cap.trackNames[order[newIdx]];
+    }
+    cap.trackNames = std::move(names);
+    for (Rec& r : cap.recs)
+        r.track = remap[r.track - 1];
+
+    std::stable_sort(
+        cap.recs.begin(), cap.recs.end(),
+        [](const Rec& a, const Rec& b) {
+            if (a.start != b.start)
+                return a.start < b.start;
+            if (a.track != b.track)
+                return a.track < b.track;
+            if (a.kind != b.kind)
+                return a.kind < b.kind;
+            int c = std::strcmp(a.name, b.name);
+            if (c != 0)
+                return c < 0;
+            if (a.end != b.end)
+                return a.end < b.end;
+            return a.value < b.value;
+        });
 }
 
 /** Picosecond ticks as fractional Chrome microseconds ("123.000456"). */
@@ -98,6 +150,7 @@ recordDuration(const char* track, const char* name, Tick start,
         return;
     if (end < start)
         end = start;
+    std::lock_guard<std::mutex> lock(gCapture->mu);
     push(*gCapture, {Kind::Duration, trackId(*gCapture, track), name,
                      start, end, 0.0});
 }
@@ -107,6 +160,7 @@ recordInstant(const char* track, const char* name, Tick at)
 {
     if (!gCapture)
         return;
+    std::lock_guard<std::mutex> lock(gCapture->mu);
     push(*gCapture,
          {Kind::Instant, trackId(*gCapture, track), name, at, at, 0.0});
 }
@@ -117,6 +171,7 @@ recordCounter(const char* track, const char* series, Tick at,
 {
     if (!gCapture)
         return;
+    std::lock_guard<std::mutex> lock(gCapture->mu);
     push(*gCapture, {Kind::Counter, trackId(*gCapture, track), series,
                      at, at, value});
 }
@@ -142,6 +197,7 @@ stop()
 
     std::unique_ptr<detail::Capture> cap(gCapture);
     gCapture = nullptr;
+    detail::canonicalize(*cap);
 
     std::ofstream os(cap->path);
     if (!os) {
@@ -205,13 +261,19 @@ stop()
 std::uint64_t
 eventCount()
 {
-    return detail::gCapture ? detail::gCapture->recs.size() : 0;
+    if (!detail::gCapture)
+        return 0;
+    std::lock_guard<std::mutex> lock(detail::gCapture->mu);
+    return detail::gCapture->recs.size();
 }
 
 std::uint64_t
 droppedCount()
 {
-    return detail::gCapture ? detail::gCapture->dropped : 0;
+    if (!detail::gCapture)
+        return 0;
+    std::lock_guard<std::mutex> lock(detail::gCapture->mu);
+    return detail::gCapture->dropped;
 }
 
 } // namespace nvdimmc::trace

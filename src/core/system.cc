@@ -1,7 +1,9 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <array>
 #include <string>
+#include <thread>
 
 #include "common/logging.hh"
 
@@ -31,10 +33,20 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
     std::uint32_t cp_depth = std::max(cfg_.driver.cpQueueDepth,
                                       cfg_.nvmc.firmware.cpQueueDepth);
 
+    // Sharded (parallel-in-time) mode: every channel simulates on its
+    // own event queue; the host-side components stay on eq_.
+    const bool sharded = cfg_.threads >= 1;
+    if (sharded) {
+        shardQueues_.reserve(cfg_.channels);
+        for (std::uint32_t i = 0; i < cfg_.channels; ++i)
+            shardQueues_.push_back(std::make_unique<EventQueue>());
+    }
+
     channels_.reserve(cfg_.channels);
     for (std::uint32_t i = 0; i < cfg_.channels; ++i)
         channels_.push_back(std::make_unique<Channel>(
-            eq_, cfg_, i, cfg_.channels, cp_depth));
+            sharded ? *shardQueues_[i] : eq_, cfg_, i, cfg_.channels,
+            cp_depth));
 
     std::vector<imc::Imc*> imcs;
     imcs.reserve(channels_.size());
@@ -60,6 +72,49 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
     driver_ = std::make_unique<driver::NvdcDriver>(
         eq_, *cpuCache_, *engine_, std::move(layouts), backend_pages,
         cfg_.driver);
+
+    if (sharded) {
+        const Tick bound = quantumBound(cfg_);
+        const Tick quantum =
+            cfg_.quantumOverride ? cfg_.quantumOverride : bound;
+        if (quantum > bound) {
+            panic("sync quantum ", quantum,
+                  " exceeds the conservative cross-shard latency "
+                  "bound ", bound,
+                  " — a mailbox message could land in a shard's past");
+        }
+        unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        unsigned executors =
+            std::min({cfg_.threads, cfg_.channels, hw});
+
+        std::vector<EventQueue*> qs;
+        qs.reserve(shardQueues_.size());
+        for (auto& q : shardQueues_)
+            qs.push_back(q.get());
+        coord_ = std::make_unique<ShardCoordinator>(eq_, qs, quantum,
+                                                    executors);
+        eq_.setCoordinator(coord_.get());
+        hostPort_->enableSharding(*coord_, eq_, std::move(qs),
+                                  cfg_.hostLinkLatency,
+                                  cfg_.hostLinkDepth);
+    }
+}
+
+Tick
+NvdimmcSystem::quantumBound(const SystemConfig& cfg)
+{
+    Tick bound = cfg.hostLinkLatency;
+    // The driver cannot observe a CP ack faster than the compose +
+    // store cost of the command that provoked it.
+    bound = std::min(bound, cfg.driver.cpWriteCost);
+    // Staggered refresh offsets neighbouring channels' tREFI clocks by
+    // tREFI / N; windows must not blur that phase relationship.
+    if (cfg.staggerRefresh && cfg.channels > 1)
+        bound = std::min(bound,
+                         cfg.refresh.tREFI /
+                             std::max<std::uint32_t>(1, cfg.channels));
+    return std::max<Tick>(bound, 1);
 }
 
 std::uint32_t
@@ -122,6 +177,14 @@ NvdimmcSystem::precondition(std::uint64_t first_page,
 void
 NvdimmcSystem::registerStats(StatRegistry& reg) const
 {
+    if (coord_) {
+        // Export metadata only (JSON "_meta"): text dumps must stay
+        // byte-identical across executor counts.
+        reg.setMeta("threads", coord_->executors());
+        reg.setMeta("quantum_ticks",
+                    static_cast<double>(coord_->quantum()));
+    }
+
     if (channels_.size() == 1) {
         // The legacy single-channel namespace, bit-for-bit.
         const Channel& ch = *channels_[0];

@@ -26,6 +26,7 @@
 
 #include "bus/memory_bus.hh"
 #include "common/event_queue.hh"
+#include "common/shard.hh"
 #include "core/channel.hh"
 #include "core/system_config.hh"
 #include "cpu/cache_model.hh"
@@ -89,6 +90,28 @@ class NvdimmcSystem
     driver::NvdcDriver& driver() { return *driver_; }
     const SystemConfig& config() const { return cfg_; }
 
+    /** @name Parallel-in-time execution (cfg.threads >= 1). */
+    /** @{ */
+
+    /** Is this system running the sharded kernel? */
+    bool sharded() const { return coord_ != nullptr; }
+
+    /** The shard coordinator, or null on a classic serial system. */
+    ShardCoordinator* coordinator() { return coord_.get(); }
+    const ShardCoordinator* coordinator() const { return coord_.get(); }
+
+    /**
+     * The conservative sync-quantum upper bound for @p cfg: the
+     * smallest latency any cross-channel interaction can have —
+     * min(host link latency, the driver's CP compose/store floor,
+     * the tREFI/N refresh stagger offset). A quantum above it could
+     * let a message land in a shard's past; construction panics on a
+     * quantumOverride exceeding it.
+     */
+    static Tick quantumBound(const SystemConfig& cfg);
+
+    /** @} */
+
     /** Advance simulated time. */
     void run(Tick duration) { eq_.runFor(duration); }
 
@@ -131,7 +154,9 @@ class NvdimmcSystem
 
   private:
     SystemConfig cfg_;
-    EventQueue eq_;
+    EventQueue eq_; ///< Host shard queue (the only queue when serial).
+    /** Per-channel shard queues; empty on a classic serial system. */
+    std::vector<std::unique_ptr<EventQueue>> shardQueues_;
 
     std::vector<std::unique_ptr<Channel>> channels_;
     std::unique_ptr<imc::HostPort> hostPort_;
@@ -139,6 +164,10 @@ class NvdimmcSystem
     std::unique_ptr<cpu::CpuCacheModel> cpuCache_;
     std::unique_ptr<cpu::MemcpyEngine> engine_;
     std::unique_ptr<driver::NvdcDriver> driver_;
+
+    /** Declared last: its destructor joins the worker threads while
+     *  every queue and component they touch is still alive. */
+    std::unique_ptr<ShardCoordinator> coord_;
 };
 
 /** The /dev/pmem0 baseline machine. */

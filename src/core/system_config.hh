@@ -59,6 +59,31 @@ struct SystemConfig
     bool staggerRefresh = true;
     /** @} */
 
+    /** @name Parallel-in-time execution.
+     * threads = 0 (default) keeps the classic single-queue serial
+     * kernel, byte-identical to pre-shard builds. threads >= 1 runs
+     * each channel as its own event shard under conservative quantum
+     * sync with min(threads, channels, cores) executor threads;
+     * results are byte-identical for every threads >= 1, so
+     * `--threads=N --verify` diffs against a threads=1 run. */
+    /** @{ */
+    std::uint32_t threads = 0;
+    /** Modeled host<->module routing latency: every host line/bulk
+     *  request and completion crosses it once each way in sharded
+     *  mode. It is the binding term of the auto-derived sync quantum
+     *  (the cross-shard lookahead). */
+    Tick hostLinkLatency = 200 * kNs;
+    /** Per-channel link credit pool: host line ops posted but not yet
+     *  accepted by the channel's iMC. Exhausting it rejects host
+     *  calls, propagating RPQ/WPQ back-pressure across the link one
+     *  round trip late (a posted buffer of this depth). */
+    std::uint32_t hostLinkDepth = 128;
+    /** Test knob: use this sync quantum instead of the auto-derived
+     *  bound. Must not exceed the bound — construction panics, the
+     *  quantum-checker regression. 0 = auto. */
+    Tick quantumOverride = 0;
+    /** @} */
+
     /** @name DRAM cache DIMM. */
     /** @{ */
     std::uint64_t dramCacheBytes = 16 * kGiB;
