@@ -25,7 +25,7 @@ using workload::FioConfig;
 
 workload::FioResult
 runUncached(std::function<void(core::SystemConfig&)> tweak,
-            unsigned threads = 1)
+            unsigned threads = 1, const char* tag = nullptr)
 {
     auto sys = makeUncachedSystem(std::move(tweak));
     FioConfig cfg;
@@ -37,7 +37,10 @@ runUncached(std::function<void(core::SystemConfig&)> tweak,
     cfg.regionBytes = bytes;
     cfg.rampTime = 5 * kMs;
     cfg.runTime = 120 * kMs;
-    return runFio(sys->eq(), nvdcAccess(*sys), cfg);
+    workload::FioResult res = runFio(sys->eq(), nvdcAccess(*sys), cfg);
+    if (tag)
+        writeLatencyBreakdown(tag);
+    return res;
 }
 
 void
@@ -45,7 +48,7 @@ BM_Ablation_Poc(benchmark::State& state)
 {
     workload::FioResult res;
     for (auto _ : state)
-        res = runUncached({});
+        res = runUncached({}, 1, "BM_Ablation_Poc");
     report(state, res, 57.3, 13.0);
 }
 

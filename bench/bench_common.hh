@@ -18,9 +18,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "bench_systems.hh"
+#include "common/span.hh"
 #include "common/trace.hh"
 
 namespace nvdimmc::bench
@@ -55,12 +57,23 @@ report(benchmark::State& state, const workload::FioResult& res,
  *                       N executors (auto = one per channel); results
  *                       are byte-identical for every N >= 1. Default:
  *                       the classic serial kernel.
+ *      --latency-breakdown[=path]
+ *                       record request spans and print a per-op-class
+ *                       per-phase latency table after each benchmark,
+ *                       appending a JSON line to @p path (default
+ *                       latency_breakdown.jsonl). Deterministic: the
+ *                       output is byte-identical for every --threads.
+ *      --trace-max-events=N
+ *                       override the tracer's in-memory event cap.
  */
 struct Observability
 {
     bool traceOn = false;
     std::string tracePath = "trace.json";
     std::string statsPath; ///< Empty = stats export off.
+    bool breakdownOn = false;
+    std::string breakdownPath = "latency_breakdown.jsonl";
+    std::uint64_t traceMaxEvents = 0; ///< 0 = tracer default.
 };
 
 inline Observability&
@@ -91,6 +104,13 @@ initObservability(int* argc, char** argv)
             obs.statsPath = "stats.jsonl";
         } else if (std::strncmp(a, "--stats=", 8) == 0) {
             obs.statsPath = a + 8;
+        } else if (std::strcmp(a, "--latency-breakdown") == 0) {
+            obs.breakdownOn = true;
+        } else if (std::strncmp(a, "--latency-breakdown=", 20) == 0) {
+            obs.breakdownOn = true;
+            obs.breakdownPath = a + 20;
+        } else if (std::strncmp(a, "--trace-max-events=", 19) == 0) {
+            obs.traceMaxEvents = std::strtoull(a + 19, nullptr, 10);
         } else if (std::strncmp(a, "--channels=", 11) == 0) {
             int n = std::atoi(a + 11);
             if (n >= 1)
@@ -107,7 +127,9 @@ initObservability(int* argc, char** argv)
     }
     *argc = out;
     if (obs.traceOn)
-        trace::start(obs.tracePath);
+        trace::start(obs.tracePath, obs.traceMaxEvents);
+    if (obs.breakdownOn)
+        span::enable();
 }
 
 /** Append one {"bench": name, "stats": {...}} line to the stats
@@ -125,6 +147,30 @@ writeSystemStats(const std::string& name,
     os << "{\"bench\":\"" << name << "\",\"stats\":";
     sys.dumpStatsJson(os);
     os << "}\n";
+}
+
+/**
+ * Print the per-op-class per-phase latency table for the spans
+ * recorded since the last call, append the JSON block to the
+ * breakdown file, then reset the recorder so the next benchmark
+ * starts clean (no-op unless --latency-breakdown was given).
+ */
+inline void
+writeLatencyBreakdown(const std::string& name)
+{
+    const Observability& obs = observability();
+    if (!obs.breakdownOn)
+        return;
+    span::writeBreakdownTable(std::cout, name);
+    if (!obs.breakdownPath.empty()) {
+        std::ofstream os(obs.breakdownPath, std::ios::app);
+        if (os) {
+            os << "{\"bench\":\"" << name << "\",\"breakdown\":";
+            span::writeBreakdownJson(os);
+            os << "}\n";
+        }
+    }
+    span::reset();
 }
 
 /** Flush the trace file (no-op unless --trace was given). */

@@ -24,7 +24,9 @@ BM_Fig7_FileCopy(benchmark::State& state)
 {
     workload::FileCopyResult res;
     for (auto _ : state) {
-        core::NvdimmcSystem sys(core::SystemConfig::scaledBench());
+        core::SystemConfig syscfg = core::SystemConfig::scaledBench();
+        armSpanAuditor(syscfg);
+        core::NvdimmcSystem sys(syscfg);
         workload::Ssd ssd(sys.eq(), workload::Ssd::Params{});
 
         workload::FileCopyConfig cfg;
@@ -37,6 +39,7 @@ BM_Fig7_FileCopy(benchmark::State& state)
                                     nvdcAccess(sys), cfg);
         if (!sys.hardwareClean())
             state.SkipWithError("bus conflict detected");
+        writeLatencyBreakdown("BM_Fig7_FileCopy");
     }
     state.counters["cached_MBps"] = res.cachedPhaseMBps;
     state.counters["uncached_MBps"] = res.uncachedPhaseMBps;

@@ -66,6 +66,8 @@ BM_NvdcCached(benchmark::State& state, FioConfig::Pattern pattern,
         writeSystemStats(std::string("BM_NvdcCached/") +
                              patternTag(pattern),
                          *sys);
+        writeLatencyBreakdown(std::string("BM_NvdcCached/") +
+                              patternTag(pattern));
     }
     report(state, res, paper_mbps, paper_kiops);
 }
@@ -89,6 +91,8 @@ BM_NvdcUncached(benchmark::State& state, FioConfig::Pattern pattern,
         writeSystemStats(std::string("BM_NvdcUncached/") +
                              patternTag(pattern),
                          *sys);
+        writeLatencyBreakdown(std::string("BM_NvdcUncached/") +
+                              patternTag(pattern));
     }
     report(state, res, paper_mbps, paper_kiops);
 }
@@ -117,6 +121,8 @@ BM_NvdcCachedAggregate(benchmark::State& state,
         writeSystemStats(std::string("BM_NvdcCachedAggregate/") +
                              patternTag(pattern),
                          *sys);
+        writeLatencyBreakdown(std::string("BM_NvdcCachedAggregate/") +
+                              patternTag(pattern));
     }
     report(state, res, 0.0, 0.0);
     state.counters["channels"] =

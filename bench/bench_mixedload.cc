@@ -49,6 +49,8 @@ BM_MixedLoad_Users(benchmark::State& state)
         res = workload::runMixedLoad(sys.eq(), dev, mc);
         if (!sys.hardwareClean())
             state.SkipWithError("bus conflict detected");
+        writeLatencyBreakdown("BM_MixedLoad_Users/" +
+                              std::to_string(users));
     }
     state.counters["transactions"] =
         static_cast<double>(res.transactions);

@@ -18,11 +18,28 @@
 #include <memory>
 #include <utility>
 
+#include "common/span.hh"
 #include "core/system.hh"
 #include "workload/fio.hh"
 
 namespace nvdimmc::bench
 {
+
+/**
+ * A request may legitimately miss a few refresh windows (poll pacing,
+ * queueing behind another op's DMA), but a span stuck waiting for
+ * windows longer than this many tREFI periods indicates a detector or
+ * window-accounting bug; the span auditor flags it.
+ */
+inline constexpr std::uint64_t kWindowWaitBudgetRefi = 32;
+
+/** Arm the span auditor's window-wait bound for @p cfg's refresh
+ *  cadence (call once per system build; idempotent). */
+inline void
+armSpanAuditor(const core::SystemConfig& cfg)
+{
+    span::setWindowWaitCap(cfg.refresh.tREFI * kWindowWaitBudgetRefi);
+}
 
 /**
  * Channel count every bench system is built with (the --channels=N
@@ -99,6 +116,7 @@ makeCachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
         tweak(cfg);
     if (cfg.threads == 0)
         cfg.threads = resolvedBenchThreads(cfg.channels);
+    armSpanAuditor(cfg);
     auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
     // Leave 64 slots per channel free so hits never evict.
     std::uint32_t slots = sys->totalSlotCount();
@@ -129,6 +147,7 @@ makeUncachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
         tweak(cfg);
     if (cfg.threads == 0)
         cfg.threads = resolvedBenchThreads(cfg.channels);
+    armSpanAuditor(cfg);
     auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
     sys->precondition(0, sys->totalSlotCount(), true);
     // The paper's uncached experiments run on a device whose blocks

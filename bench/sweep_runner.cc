@@ -15,9 +15,13 @@
  * executors=N byte-identical to executors=1 and recording the
  * threads x channels wall-clock scaling study (JSON `perf` blocks).
  *
+ * The "latency" sweep proves the request-span latency breakdown is
+ * deterministic: executors=1 and executors=N must export byte-identical
+ * per-phase JSON, and the span auditor must pass on both runs.
+ *
  * Usage:
  *   sweep_runner [--sweep ablation|variants|cache_policy|channels
- *                        |parallel|all]
+ *                        |parallel|latency|all]
  *                [--jobs N] [--json FILE] [--verify] [--list]
  */
 
@@ -72,6 +76,9 @@ struct Sweep
 {
     std::string name;
     std::vector<SweepPoint> points;
+    /** Points use process-global state (the span recorder); run them
+     *  on one worker regardless of --jobs. */
+    bool serialOnly = false;
 };
 
 PointResult
@@ -502,6 +509,108 @@ makeParallelSweep()
 }
 
 /**
+ * One latency-breakdown measurement: request spans on, a random 4 KB
+ * FIO load on an N-channel machine with the given executor count, and
+ * the per-op-class per-phase JSON plus the span audit as the result.
+ */
+struct BreakdownRun
+{
+    std::string json;
+    bool auditOk = false;
+    std::uint64_t spans = 0;
+};
+
+BreakdownRun
+runBreakdownFio(std::uint32_t channels, std::uint32_t threads,
+                bool uncached)
+{
+    span::enable();
+    span::reset();
+    auto tweak = [=](core::SystemConfig& c) {
+        c.channels = channels;
+        c.threads = threads;
+    };
+    std::unique_ptr<core::NvdimmcSystem> sys;
+    FioConfig cfg;
+    cfg.blockSize = 4096;
+    cfg.pattern = FioConfig::Pattern::RandRead;
+    if (uncached) {
+        sys = makeUncachedSystem(tweak);
+        auto [base, bytes] = uncachedRegion(*sys);
+        cfg.regionOffset = base;
+        cfg.regionBytes = bytes;
+        cfg.threads = 1;
+        cfg.rampTime = 2 * kMs;
+        cfg.runTime = 40 * kMs;
+    } else {
+        sys = makeCachedSystem(tweak);
+        cfg.regionBytes = cachedRegionBytes(*sys);
+        cfg.threads = 8;
+        cfg.rampTime = 2 * kMs;
+        cfg.runTime = 25 * kMs;
+    }
+    runFio(sys->eq(), nvdcAccess(*sys), cfg);
+
+    BreakdownRun run;
+    span::AuditResult audit = span::audit();
+    run.auditOk = audit.ok();
+    run.spans = audit.closed;
+    std::ostringstream os;
+    span::writeBreakdownJson(os);
+    run.json = os.str();
+    span::reset();
+    span::disable();
+    return run;
+}
+
+/**
+ * Determinism proof for the breakdown export: the identical machine
+ * and workload run with executors=1 and executors=N must produce
+ * byte-identical latency-breakdown JSON (same spans, same phase
+ * tick counts, same percentiles), and both runs must pass the span
+ * auditor (every span closed, phases tile end-to-end, window waits
+ * bounded).
+ */
+PointResult
+runLatencyVerifyPoint(std::uint32_t channels, std::uint32_t threads,
+                      bool uncached)
+{
+    BreakdownRun ser = runBreakdownFio(channels, 1, uncached);
+    BreakdownRun par = runBreakdownFio(channels, threads, uncached);
+    const bool identical = ser.json == par.json;
+    PointResult out;
+    out.metrics = {
+        {"spans", static_cast<double>(par.spans)},
+        {"audit_ok", ser.auditOk && par.auditOk ? 1.0 : 0.0},
+        {"breakdown_identical", identical ? 1.0 : 0.0},
+    };
+    if (!identical)
+        out.error = "breakdown JSON diverged between executors=1 and "
+                    "executors=" +
+                    std::to_string(threads);
+    else if (!ser.auditOk || !par.auditOk)
+        out.error = "span audit failed";
+    return out;
+}
+
+Sweep
+makeLatencySweep()
+{
+    Sweep sweep{"latency", {}, /*serialOnly=*/true};
+    auto& p = sweep.points;
+    p.push_back({"verify/1ch_cached", [] {
+        return runLatencyVerifyPoint(1, 2, false);
+    }});
+    p.push_back({"verify/4ch_cached", [] {
+        return runLatencyVerifyPoint(4, 4, false);
+    }});
+    p.push_back({"verify/1ch_uncached", [] {
+        return runLatencyVerifyPoint(1, 2, true);
+    }});
+    return sweep;
+}
+
+/**
  * Run every point of @p sweep on @p jobs worker threads. Points are
  * claimed from an atomic counter and results land in a slot indexed
  * by point, so the output order (and content) never depends on
@@ -510,6 +619,8 @@ makeParallelSweep()
 std::vector<PointResult>
 runSweep(const Sweep& sweep, unsigned jobs)
 {
+    if (sweep.serialOnly)
+        jobs = 1;
     std::vector<PointResult> results(sweep.points.size());
     std::atomic<std::size_t> next{0};
 
@@ -628,7 +739,7 @@ sweepMain(int argc, char** argv)
             for (const Sweep& sweep :
                  {makeAblationSweep(), makeVariantsSweep(),
                   makeCachePolicySweep(), makeChannelsSweep(),
-                  makeParallelSweep()}) {
+                  makeParallelSweep(), makeLatencySweep()}) {
                 for (const auto& point : sweep.points)
                     std::cout << sweep.name << "/" << point.name
                               << "\n";
@@ -638,7 +749,7 @@ sweepMain(int argc, char** argv)
             std::cout
                 << "usage: sweep_runner"
                    " [--sweep ablation|variants|cache_policy|channels"
-                   "|parallel|all]\n"
+                   "|parallel|latency|all]\n"
                    "                    [--jobs N] [--json FILE]"
                    " [--verify] [--list]\n";
             return 0;
@@ -666,6 +777,8 @@ sweepMain(int argc, char** argv)
         sweeps.push_back(makeChannelsSweep());
     if (want("parallel"))
         sweeps.push_back(makeParallelSweep());
+    if (want("latency"))
+        sweeps.push_back(makeLatencySweep());
     if (sweeps.empty())
         fatal("no sweep matches ", wanted.front());
 

@@ -23,7 +23,17 @@ bool gEnabled = false;
 namespace
 {
 
-enum class Kind : std::uint8_t { Duration, Instant, Counter };
+enum class Kind : std::uint8_t
+{
+    Duration,
+    Instant,
+    Counter,
+    AsyncBegin, ///< ph "b" — overlapping span lane, paired by id.
+    AsyncEnd,   ///< ph "e".
+    FlowStart,  ///< ph "s" — arrow chain start, paired by id.
+    FlowStep,   ///< ph "t".
+    FlowEnd,    ///< ph "f".
+};
 
 struct Rec
 {
@@ -31,8 +41,9 @@ struct Rec
     std::uint32_t track;
     const char* name;
     Tick start;
-    Tick end;     ///< Duration events only.
-    double value; ///< Counter events only.
+    Tick end;         ///< Duration events only.
+    double value;     ///< Counter events only.
+    std::uint64_t id; ///< Async/flow pairing id.
 };
 
 struct Capture
@@ -47,6 +58,7 @@ struct Capture
     std::unordered_map<std::string, std::uint32_t> tracks;
     std::vector<std::string> trackNames;
     std::uint64_t dropped = 0;
+    std::uint64_t maxEvents = kDefaultMaxEvents;
 };
 
 Capture* gCapture = nullptr;
@@ -66,7 +78,7 @@ trackId(Capture& cap, const char* name)
 bool
 push(Capture& cap, Rec rec)
 {
-    if (cap.recs.size() >= kMaxEvents) {
+    if (cap.recs.size() >= cap.maxEvents) {
         ++cap.dropped;
         return false;
     }
@@ -115,7 +127,9 @@ canonicalize(Capture& cap)
                 return c < 0;
             if (a.end != b.end)
                 return a.end < b.end;
-            return a.value < b.value;
+            if (a.value != b.value)
+                return a.value < b.value;
+            return a.id < b.id;
         });
 }
 
@@ -152,7 +166,7 @@ recordDuration(const char* track, const char* name, Tick start,
         end = start;
     std::lock_guard<std::mutex> lock(gCapture->mu);
     push(*gCapture, {Kind::Duration, trackId(*gCapture, track), name,
-                     start, end, 0.0});
+                     start, end, 0.0, 0});
 }
 
 void
@@ -161,8 +175,8 @@ recordInstant(const char* track, const char* name, Tick at)
     if (!gCapture)
         return;
     std::lock_guard<std::mutex> lock(gCapture->mu);
-    push(*gCapture,
-         {Kind::Instant, trackId(*gCapture, track), name, at, at, 0.0});
+    push(*gCapture, {Kind::Instant, trackId(*gCapture, track), name,
+                     at, at, 0.0, 0});
 }
 
 void
@@ -173,17 +187,45 @@ recordCounter(const char* track, const char* series, Tick at,
         return;
     std::lock_guard<std::mutex> lock(gCapture->mu);
     push(*gCapture, {Kind::Counter, trackId(*gCapture, track), series,
-                     at, at, value});
+                     at, at, value, 0});
+}
+
+void
+recordAsync(const char* track, const char* name, Tick at,
+            std::uint64_t id, bool begin)
+{
+    if (!gCapture)
+        return;
+    std::lock_guard<std::mutex> lock(gCapture->mu);
+    push(*gCapture, {begin ? Kind::AsyncBegin : Kind::AsyncEnd,
+                     trackId(*gCapture, track), name, at, at, 0.0,
+                     id});
+}
+
+void
+recordFlow(const char* track, const char* name, Tick at,
+           std::uint64_t id, int step)
+{
+    if (!gCapture)
+        return;
+    Kind kind = step == 0   ? Kind::FlowStart
+                : step == 1 ? Kind::FlowStep
+                            : Kind::FlowEnd;
+    std::lock_guard<std::mutex> lock(gCapture->mu);
+    push(*gCapture,
+         {kind, trackId(*gCapture, track), name, at, at, 0.0, id});
 }
 
 } // namespace detail
 
 void
-start(std::string path)
+start(std::string path, std::uint64_t maxEvents)
 {
     delete detail::gCapture;
     detail::gCapture = new detail::Capture;
     detail::gCapture->path = std::move(path);
+    detail::gCapture->maxEvents =
+        maxEvents > 0 ? maxEvents : kDefaultMaxEvents;
     detail::gEnabled = true;
 }
 
@@ -245,15 +287,35 @@ stop()
             os << ",\"ph\":\"C\",\"args\":{\"value\":" << r.value
                << '}';
             break;
+          case detail::Kind::AsyncBegin:
+          case detail::Kind::AsyncEnd:
+            os << ",\"ph\":\""
+               << (r.kind == detail::Kind::AsyncBegin ? 'b' : 'e')
+               << "\",\"cat\":\"span\",\"id\":\"0x" << std::hex
+               << r.id << std::dec << '"';
+            break;
+          case detail::Kind::FlowStart:
+          case detail::Kind::FlowStep:
+          case detail::Kind::FlowEnd:
+            os << ",\"ph\":\""
+               << (r.kind == detail::Kind::FlowStart   ? 's'
+                   : r.kind == detail::Kind::FlowStep ? 't'
+                                                      : 'f')
+               << "\",\"cat\":\"spanflow\",\"id\":\"0x" << std::hex
+               << r.id << std::dec << '"';
+            if (r.kind == detail::Kind::FlowEnd)
+                os << ",\"bp\":\"e\"";
+            break;
         }
         os << '}';
     }
     os << "\n]\n";
 
     if (cap->dropped > 0) {
-        warn("trace: capture hit the ", kMaxEvents,
+        warn("trace: capture hit the ", cap->maxEvents,
              "-event cap; dropped ", cap->dropped,
-             " events (the written trace is truncated)");
+             " events (the written trace is truncated; raise it via"
+             " --trace-max-events=)");
     }
     return static_cast<bool>(os);
 }
@@ -274,6 +336,15 @@ droppedCount()
         return 0;
     std::lock_guard<std::mutex> lock(detail::gCapture->mu);
     return detail::gCapture->dropped;
+}
+
+std::uint64_t
+maxEvents()
+{
+    if (!detail::gCapture)
+        return 0;
+    std::lock_guard<std::mutex> lock(detail::gCapture->mu);
+    return detail::gCapture->maxEvents;
 }
 
 } // namespace nvdimmc::trace

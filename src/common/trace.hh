@@ -18,9 +18,10 @@
  * `dur` fields are microseconds, so values are emitted as fractional
  * microseconds with picosecond resolution.
  *
- * Capture is bounded (kMaxEvents); events past the cap are counted
- * and the drop total is reported at stop() so a truncated trace is
- * never mistaken for a complete one. Record calls are thread-safe
+ * Capture is bounded (kDefaultMaxEvents unless start() is given a
+ * cap); events past the cap are counted and the drop total is
+ * reported at stop() so a truncated trace is never mistaken for a
+ * complete one. Record calls are thread-safe
  * (shard workers of a parallel-in-time run trace concurrently under
  * one mutex) and stop() canonicalizes track numbering and record
  * order, so a deterministic simulation writes a byte-identical trace
@@ -50,11 +51,16 @@ void recordDuration(const char* track, const char* name, Tick start,
 void recordInstant(const char* track, const char* name, Tick at);
 void recordCounter(const char* track, const char* series, Tick at,
                    double value);
+void recordAsync(const char* track, const char* name, Tick at,
+                 std::uint64_t id, bool begin);
+void recordFlow(const char* track, const char* name, Tick at,
+                std::uint64_t id, int step);
 
 } // namespace detail
 
-/** Events retained per capture; later records are dropped+counted. */
-constexpr std::uint64_t kMaxEvents = 1u << 22;
+/** Default events-retained cap; later records are dropped+counted.
+ *  Override per capture via start(path, maxEvents). */
+constexpr std::uint64_t kDefaultMaxEvents = 1u << 22;
 
 /** Is a capture active? The one branch paid on every record call. */
 inline bool enabled() { return detail::gEnabled; }
@@ -63,8 +69,11 @@ inline bool enabled() { return detail::gEnabled; }
  * Begin capturing; events buffer in memory and are written to
  * @p path as Chrome trace JSON by stop(). Starting while already
  * active restarts the capture (prior buffered events are discarded).
+ * @param maxEvents capture cap; records past it are dropped+counted
+ *        (long multi-channel runs overflow the default).
  */
-void start(std::string path);
+void start(std::string path,
+           std::uint64_t maxEvents = kDefaultMaxEvents);
 
 /**
  * Finalize: write the JSON file and disable capture.
@@ -76,8 +85,11 @@ bool stop();
 /** Events currently buffered (for tests). */
 std::uint64_t eventCount();
 
-/** Events dropped because the capture hit kMaxEvents. */
+/** Events dropped because the capture hit its cap. */
 std::uint64_t droppedCount();
+
+/** The active capture's event cap (0 if no capture). */
+std::uint64_t maxEvents();
 
 /** A completed span [start, end) on @p track. */
 inline void
@@ -102,6 +114,58 @@ counter(const char* track, const char* series, Tick at, double value)
     if (enabled())
         detail::recordCounter(track, series, at, value);
 }
+
+/** @name Async (overlapping) events, paired by @p id.
+ * Rendered by Perfetto as nestable async lanes (ph "b"/"e", category
+ * "span"): unlike duration events they may overlap on one track, so
+ * concurrent request spans each get their own lane. */
+/** @{ */
+inline void
+asyncBegin(const char* track, const char* name, Tick at,
+           std::uint64_t id)
+{
+    if (enabled())
+        detail::recordAsync(track, name, at, id, true);
+}
+
+inline void
+asyncEnd(const char* track, const char* name, Tick at,
+         std::uint64_t id)
+{
+    if (enabled())
+        detail::recordAsync(track, name, at, id, false);
+}
+/** @} */
+
+/** @name Flow events (ph "s"/"t"/"f"), paired by @p id.
+ * A flow binds to the enclosing slice on its track at @p at and draws
+ * Perfetto arrows start -> steps -> end, stitching one request's
+ * slices across tracks into a single causal lane. */
+/** @{ */
+inline void
+flowStart(const char* track, const char* name, Tick at,
+          std::uint64_t id)
+{
+    if (enabled())
+        detail::recordFlow(track, name, at, id, 0);
+}
+
+inline void
+flowStep(const char* track, const char* name, Tick at,
+         std::uint64_t id)
+{
+    if (enabled())
+        detail::recordFlow(track, name, at, id, 1);
+}
+
+inline void
+flowEnd(const char* track, const char* name, Tick at,
+        std::uint64_t id)
+{
+    if (enabled())
+        detail::recordFlow(track, name, at, id, 2);
+}
+/** @} */
 
 } // namespace nvdimmc::trace
 

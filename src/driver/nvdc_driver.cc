@@ -73,7 +73,16 @@ NvdcDriver::read(Addr offset, std::uint32_t len, std::uint8_t* buf,
                  Callback done)
 {
     stats_.readOps.inc();
-    access(offset, len, buf, nullptr, false, std::move(done));
+    // The span opens as a hit; the fault path reclassifies it.
+    span::Id sp = span::open(channelOf(offset / kPageBytes), eq_.now(),
+                             span::OpClass::Hit);
+    if (sp != 0) {
+        done = [this, sp, cb = std::move(done)]() mutable {
+            span::close(sp, eq_.now());
+            cb();
+        };
+    }
+    access(offset, len, buf, nullptr, false, std::move(done), true, sp);
 }
 
 void
@@ -81,22 +90,31 @@ NvdcDriver::write(Addr offset, std::uint32_t len,
                   const std::uint8_t* data, Callback done)
 {
     stats_.writeOps.inc();
-    access(offset, len, nullptr, data, true, std::move(done));
+    span::Id sp = span::open(channelOf(offset / kPageBytes), eq_.now(),
+                             span::OpClass::Write);
+    if (sp != 0) {
+        done = [this, sp, cb = std::move(done)]() mutable {
+            span::close(sp, eq_.now());
+            cb();
+        };
+    }
+    access(offset, len, nullptr, data, true, std::move(done), true, sp);
 }
 
 void
 NvdcDriver::accessContinue(Addr offset, std::uint32_t len,
                            std::uint8_t* rbuf,
                            const std::uint8_t* wdata, bool is_write,
-                           Callback done)
+                           Callback done, span::Id span)
 {
-    access(offset, len, rbuf, wdata, is_write, std::move(done), false);
+    access(offset, len, rbuf, wdata, is_write, std::move(done), false,
+           span);
 }
 
 void
 NvdcDriver::access(Addr offset, std::uint32_t len, std::uint8_t* rbuf,
                    const std::uint8_t* wdata, bool is_write,
-                   Callback done, bool first_in_op)
+                   Callback done, bool first_in_op, span::Id span)
 {
     NVDC_ASSERT(offset % 64 == 0 && len % 64 == 0 && len > 0,
                 "nvdc access must be 64B aligned");
@@ -117,6 +135,7 @@ NvdcDriver::access(Addr offset, std::uint32_t len, std::uint8_t* rbuf,
     seg->isWrite = is_write;
     seg->firstInOp = first_in_op;
     seg->startedAt = eq_.now();
+    seg->span = span;
 
     std::uint32_t rest = len - first_len;
     if (rest == 0) {
@@ -127,9 +146,9 @@ NvdcDriver::access(Addr offset, std::uint32_t len, std::uint8_t* rbuf,
         const std::uint8_t* next_wdata =
             wdata ? wdata + first_len : nullptr;
         seg->done = [this, next_off, rest, next_rbuf, next_wdata,
-                     is_write, cb = std::move(done)]() mutable {
+                     is_write, span, cb = std::move(done)]() mutable {
             accessContinue(next_off, rest, next_rbuf, next_wdata,
-                           is_write, std::move(cb));
+                           is_write, std::move(cb), span);
         };
     }
     doSegment(seg);
@@ -155,6 +174,12 @@ void
 NvdcDriver::segmentMemcpy(std::shared_ptr<Segment> seg,
                           std::uint32_t slot, Callback done)
 {
+    if (seg->span != 0) {
+        done = [this, seg, cb = std::move(done)]() mutable {
+            span::phase(seg->span, span::Phase::Memcpy, eq_.now());
+            cb();
+        };
+    }
     std::uint32_t ch = channelOf(seg->devPage);
     Addr addr = flatAddr(ch, layouts_[ch].slotAddr(slot)) +
                 seg->pageOffset;
@@ -184,6 +209,7 @@ void
 NvdcDriver::finishHit(std::shared_ptr<Segment> seg)
 {
     eq_.scheduleAfter(postCost(*seg), [this, seg] {
+        span::phase(seg->span, span::Phase::DriverPost, eq_.now());
         stats_.hitLatency.record(eq_.now() - seg->startedAt);
         seg->done();
     });
@@ -193,6 +219,7 @@ void
 NvdcDriver::finishFault(std::shared_ptr<Segment> seg)
 {
     eq_.scheduleAfter(postCost(*seg), [this, seg] {
+        span::phase(seg->span, span::Phase::DriverPost, eq_.now());
         stats_.faultLatency.record(eq_.now() - seg->startedAt);
         seg->done();
     });
@@ -204,10 +231,14 @@ NvdcDriver::hitPath(std::shared_ptr<Segment> seg, std::uint32_t slot)
     std::uint32_t ch = channelOf(seg->devPage);
     Tick pre = seg->firstInOp ? cfg_.hitPreOverhead : 0;
     eq_.scheduleAfter(pre, [this, seg, slot, ch] {
+        span::phase(seg->span, span::Phase::CacheLookup, eq_.now());
         locks_[ch]->acquire([this, seg, slot, ch] {
+            span::phase(seg->span, span::Phase::LockWait, eq_.now());
             Tick hold = seg->firstInOp ? lockCost(*seg)
                                        : cfg_.continuationLockHold;
             eq_.scheduleAfter(hold, [this, seg, slot, ch] {
+                span::phase(seg->span, span::Phase::LockHold,
+                            eq_.now());
                 DramCache& cache = *caches_[ch];
                 // Re-validate under the lock: the slot may have been
                 // evicted while we waited.
@@ -235,6 +266,8 @@ NvdcDriver::hitPath(std::shared_ptr<Segment> seg, std::uint32_t slot)
                 locks_[ch]->release();
 
                 auto after_meta = [this, seg, slot, ch] {
+                    span::phase(seg->span, span::Phase::Metadata,
+                                eq_.now());
                     segmentMemcpy(seg, slot, [this, seg, slot, ch] {
                         caches_[ch]->unpin(slot);
                         finishHit(seg);
@@ -256,8 +289,11 @@ NvdcDriver::hypotheticalFault(std::shared_ptr<Segment> seg)
     // and waits three programmable delays (one per refresh-window step
     // a real uncached access needs).
     std::uint32_t ch = channelOf(seg->devPage);
+    span::classify(seg->span, span::OpClass::CleanMiss);
     locks_[ch]->acquire([this, seg, ch] {
+        span::phase(seg->span, span::Phase::LockWait, eq_.now());
         eq_.scheduleAfter(cfg_.faultOverhead, [this, seg, ch] {
+            span::phase(seg->span, span::Phase::FaultEntry, eq_.now());
             DramCache& cache = *caches_[ch];
             auto cur = cache.peek(seg->devPage);
             if (cur) {
@@ -280,7 +316,13 @@ NvdcDriver::hypotheticalFault(std::shared_ptr<Segment> seg)
 
             eq_.scheduleAfter(3 * cfg_.hypotheticalTd,
                               [this, seg, slot, ch] {
+                // The three tD delays stand in for the refresh-window
+                // round trips of a real uncached access.
+                span::phase(seg->span, span::Phase::WindowWait,
+                            eq_.now());
                 locks_[ch]->acquire([this, seg, slot, ch] {
+                    span::phase(seg->span, span::Phase::LockWait,
+                                eq_.now());
                     DramCache& cache = *caches_[ch];
                     cache.finishFill(slot);
                     if (seg->isWrite || !cfg_.trackDirty)
@@ -302,8 +344,13 @@ void
 NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
 {
     std::uint32_t ch = channelOf(seg->devPage);
+    // A faulting read is at least a clean miss (writes keep their
+    // Write class; a victim eviction upgrades to dirty-miss below).
+    span::classify(seg->span, span::OpClass::CleanMiss);
     locks_[ch]->acquire([this, seg, ch] {
+        span::phase(seg->span, span::Phase::LockWait, eq_.now());
         eq_.scheduleAfter(cfg_.faultOverhead, [this, seg, ch] {
+            span::phase(seg->span, span::Phase::FaultEntry, eq_.now());
             DramCache& cache = *caches_[ch];
             // Someone else (or a prefetch) may have filled the page
             // while we waited.
@@ -316,8 +363,11 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
             auto pending = pendingFills_.find(seg->devPage);
             if (pending != pendingFills_.end()) {
                 stats_.prefetchHits.inc();
-                pending->second.push_back(
-                    [this, seg] { doSegment(seg); });
+                pending->second.push_back([this, seg] {
+                    span::phase(seg->span, span::Phase::FillWait,
+                                eq_.now());
+                    doSegment(seg);
+                });
                 locks_[ch]->release();
                 return;
             }
@@ -325,8 +375,11 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
             if (pending_wb != pendingWritebacks_.end()) {
                 // The page's latest data is still on its way to the
                 // NVM; refaulting now would fill stale bytes.
-                pending_wb->second.push_back(
-                    [this, seg] { doSegment(seg); });
+                pending_wb->second.push_back([this, seg] {
+                    span::phase(seg->span, span::Phase::FillWait,
+                                eq_.now());
+                    doSegment(seg);
+                });
                 locks_[ch]->release();
                 return;
             }
@@ -353,8 +406,11 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                 slot = victim;
                 need_wb = prior.dirty || !cfg_.trackDirty;
                 wb_page = prior.devPage;
-                if (need_wb)
+                if (need_wb) {
                     pendingWritebacks_[wb_page];
+                    span::classify(seg->span,
+                                   span::OpClass::DirtyMiss);
+                }
             }
             locks_[ch]->release();
 
@@ -370,7 +426,13 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
             // Step 3 (after the CP work): install and serve.
             auto install = [this, seg, slot, ch, zero_fill_pre] {
                 auto after_inval = [this, seg, slot, ch] {
+                    // Time since the fill landed went to the
+                    // invalidation pass (zero when it was skipped).
+                    span::phase(seg->span, span::Phase::Clflush,
+                                eq_.now());
                     locks_[ch]->acquire([this, seg, slot, ch] {
+                        span::phase(seg->span, span::Phase::LockWait,
+                                    eq_.now());
                         DramCache& cache = *caches_[ch];
                         cache.finishFill(slot);
                         // Without dirty tracking the PoC assumes every
@@ -382,6 +444,9 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                         cache.pin(slot);
                         locks_[ch]->release();
                         writeMetadata(ch, slot, [this, seg, slot, ch] {
+                            span::phase(seg->span,
+                                        span::Phase::Metadata,
+                                        eq_.now());
                             fillCompleted(seg->devPage);
                             segmentMemcpy(seg, slot,
                                           [this, seg, slot, ch] {
@@ -409,6 +474,9 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
             // Step 2: the CP transactions.
             auto do_cp = [this, seg, slot, ch, need_wb, wb_page,
                           install, zero_fill] {
+                // Time since FaultEntry went to the victim flush
+                // chain (zero when no flush was needed).
+                span::phase(seg->span, span::Phase::Clflush, eq_.now());
                 if (need_wb && cfg_.mergedWbCf && !zero_fill) {
                     nvmc::CpCommand cmd;
                     cmd.opcode = nvmc::CpOpcode::WritebackCachefill;
@@ -416,6 +484,7 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                     cmd.nandPage = localPage(wb_page);
                     cmd.dramSlot2 = slot;
                     cmd.nandPage2 = localPage(seg->devPage);
+                    cmd.spanId = seg->span;
                     stats_.mergedCommands.inc();
                     cpTransaction(ch, cmd, [this, wb_page, install] {
                         writebackCompleted(wb_page);
@@ -425,13 +494,20 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                 }
                 auto fill = [this, seg, slot, ch, install, zero_fill] {
                     if (zero_fill) {
-                        eq_.scheduleAfter(cfg_.zeroFillCost, install);
+                        eq_.scheduleAfter(cfg_.zeroFillCost,
+                                          [this, seg, install] {
+                            span::phase(seg->span,
+                                        span::Phase::ZeroFill,
+                                        eq_.now());
+                            install();
+                        });
                         return;
                     }
                     nvmc::CpCommand cmd;
                     cmd.opcode = nvmc::CpOpcode::Cachefill;
                     cmd.dramSlot = slot;
                     cmd.nandPage = localPage(seg->devPage);
+                    cmd.spanId = seg->span;
                     stats_.cachefills.inc();
                     cpTransaction(ch, cmd, install);
                 };
@@ -440,6 +516,7 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                     cmd.opcode = nvmc::CpOpcode::Writeback;
                     cmd.dramSlot = slot;
                     cmd.nandPage = localPage(wb_page);
+                    cmd.spanId = seg->span;
                     stats_.writebacks.inc();
                     cpTransaction(ch, cmd, [this, wb_page, fill] {
                         writebackCompleted(wb_page);
@@ -650,6 +727,8 @@ NvdcDriver::cpTransaction(std::uint32_t channel, nvmc::CpCommand cmd,
     acquireCpIndex(channel, [this, channel, cmd,
                              done = std::move(done)](
                                 std::uint32_t index) mutable {
+        // Waiting for a free CP slot (queue depth contention).
+        span::phase(cmd.spanId, span::Phase::CpQueue, eq_.now());
         eq_.scheduleAfter(cfg_.cpWriteCost, [this, channel, cmd, index,
                                              done = std::move(done)]()
                               mutable {
@@ -663,21 +742,29 @@ NvdcDriver::cpTransaction(std::uint32_t channel, nvmc::CpCommand cmd,
             Addr addr =
                 flatAddr(channel, layouts_[channel].commandAddr(index));
             std::uint8_t phase = final_cmd.phase;
+            span::Id sp = final_cmd.spanId;
             // Store the command, then clflush + sfence so the FPGA's
             // next poll sees it in DRAM.
             cacheModel_.store(addr, line->data(), [this, addr, line,
                                                    channel, index,
-                                                   phase,
+                                                   phase, sp,
                                                    done =
                                                        std::move(done)]()
                                   mutable {
                 cacheModel_.clflush(addr, [this, channel, index, phase,
-                                           line,
+                                           line, sp,
                                            done = std::move(done)]()
                                         mutable {
+                    // Command composed, stored and flushed; it is now
+                    // visible to the module's next poll.
+                    span::phase(sp, span::Phase::CpWrite, eq_.now());
                     pollAck(channel, index, phase,
-                            [this, channel, index,
+                            [this, channel, index, sp,
                              done = std::move(done)] {
+                        // Everything after the module's last mark was
+                        // spent waiting for the driver to observe the
+                        // ack line.
+                        span::phase(sp, span::Phase::CpAck, eq_.now());
                         releaseCpIndex(channel, index);
                         done();
                     });

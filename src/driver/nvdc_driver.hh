@@ -39,6 +39,7 @@
 
 #include "common/event_queue.hh"
 #include "common/sim_mutex.hh"
+#include "common/span.hh"
 #include "common/stats.hh"
 #include "cpu/cache_model.hh"
 #include "cpu/memcpy_engine.hh"
@@ -246,14 +247,18 @@ class NvdcDriver
         bool firstInOp = true;
         Tick startedAt;
         Callback done;
+        /** Request span for phase attribution (0 when disabled). All
+         *  segments of a multi-page op share one span. */
+        span::Id span = 0;
     };
 
     void access(Addr offset, std::uint32_t len, std::uint8_t* rbuf,
                 const std::uint8_t* wdata, bool is_write,
-                Callback done, bool first_in_op = true);
+                Callback done, bool first_in_op = true,
+                span::Id span = 0);
     void accessContinue(Addr offset, std::uint32_t len,
                         std::uint8_t* rbuf, const std::uint8_t* wdata,
-                        bool is_write, Callback done);
+                        bool is_write, Callback done, span::Id span);
     void doSegment(std::shared_ptr<Segment> seg);
     void hitPath(std::shared_ptr<Segment> seg, std::uint32_t slot);
     void faultPath(std::shared_ptr<Segment> seg);

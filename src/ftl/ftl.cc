@@ -159,7 +159,7 @@ Ftl::invalidate(std::uint64_t ppn)
 
 void
 Ftl::readPage(std::uint64_t page_no, std::uint8_t* buf,
-              nvm::Callback done)
+              nvm::Callback done, span::Id span)
 {
     NVDC_ASSERT(page_no < logicalPages_, "FTL read beyond capacity");
     stats_.userReads.inc();
@@ -169,6 +169,14 @@ Ftl::readPage(std::uint64_t page_no, std::uint8_t* buf,
         stats_.unmappedReads.inc();
         if (buf)
             std::memset(buf, 0, nvm::PageBackend::kPageBytes);
+        if (span != 0) {
+            // No NAND involved: the synthesized-zero service time is
+            // pure mapping work.
+            done = [this, span, cb = std::move(done)]() mutable {
+                span::phase(span, span::Phase::FtlMap, eq_.now());
+                cb();
+            };
+        }
         eq_.scheduleAfter(kUnmappedReadLatency, std::move(done));
         return;
     }
@@ -177,12 +185,12 @@ Ftl::readPage(std::uint64_t page_no, std::uint8_t* buf,
         if (!r.correctable)
             stats_.uncorrectableReads.inc();
         cb();
-    });
+    }, span);
 }
 
 void
 Ftl::writePage(std::uint64_t page_no, const std::uint8_t* data,
-               nvm::Callback done)
+               nvm::Callback done, span::Id span)
 {
     NVDC_ASSERT(page_no < logicalPages_, "FTL write beyond capacity");
     stats_.userWrites.inc();
@@ -194,6 +202,7 @@ Ftl::writePage(std::uint64_t page_no, const std::uint8_t* data,
             data, data + nvm::PageBackend::kPageBytes);
     }
     op.done = std::move(done);
+    op.span = span;
 
     maybeStartGc();
     startWrite(std::move(op));
@@ -216,6 +225,7 @@ Ftl::startWrite(WriteOp op)
 
     auto data_ptr = op.data ? op.data->data() : nullptr;
     auto retry = std::make_shared<WriteOp>(std::move(op));
+    span::Id op_span = retry->span;
     nand_.programPage(ppn, data_ptr, [this, ppn, retry] {
         if (nand_.lastProgramFailed()) {
             // Grown defect: retire the whole block. Its other live
@@ -228,7 +238,7 @@ Ftl::startWrite(WriteOp op)
         }
         if (retry->done)
             retry->done();
-    });
+    }, op_span);
 }
 
 void
@@ -263,6 +273,7 @@ Ftl::retireBlock(std::uint64_t block_no, std::uint64_t failed_ppn,
     again.lpn = op.lpn;
     again.data = op.data;
     again.done = std::move(op.done);
+    again.span = op.span;
     startWrite(std::move(again));
 }
 

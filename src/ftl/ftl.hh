@@ -81,9 +81,9 @@ class Ftl : public nvm::PageBackend
     std::uint64_t pageCount() const override { return logicalPages_; }
 
     void readPage(std::uint64_t page_no, std::uint8_t* buf,
-                  nvm::Callback done) override;
+                  nvm::Callback done, span::Id span = 0) override;
     void writePage(std::uint64_t page_no, const std::uint8_t* data,
-                   nvm::Callback done) override;
+                   nvm::Callback done, span::Id span = 0) override;
 
     const FtlStats& stats() const { return stats_; }
 
@@ -113,6 +113,7 @@ class Ftl : public nvm::PageBackend
         std::uint64_t lpn;
         std::shared_ptr<std::vector<std::uint8_t>> data; ///< May be null.
         nvm::Callback done;
+        span::Id span = 0; ///< Host request span riding this write.
     };
 
     /** Allocate the next physical page, or kUnmapped if out of space. */

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/span.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -52,6 +53,7 @@ class NvmMedia
 
     const std::string& name() const { return name_; }
     std::uint64_t capacity() const { return capacity_; }
+    EventQueue& eq() { return eq_; }
 
     /**
      * Read @p len bytes at @p addr into @p buf (nullable = timing
@@ -136,10 +138,14 @@ class PageBackend
 
     virtual std::uint64_t pageCount() const = 0;
 
+    /** @p span (optional, 0 = none) is the host request span riding
+     *  this page op; backends stamp its NandRead/NandProgram phase at
+     *  media-completion time. */
     virtual void readPage(std::uint64_t page_no, std::uint8_t* buf,
-                          Callback done) = 0;
+                          Callback done, span::Id span = 0) = 0;
     virtual void writePage(std::uint64_t page_no,
-                           const std::uint8_t* data, Callback done) = 0;
+                           const std::uint8_t* data, Callback done,
+                           span::Id span = 0) = 0;
 };
 
 /** PageBackend over any byte-addressable NvmMedia (no FTL needed). */
@@ -154,15 +160,31 @@ class DirectBackend : public PageBackend
     }
 
     void readPage(std::uint64_t page_no, std::uint8_t* buf,
-                  Callback done) override
+                  Callback done, span::Id span = 0) override
     {
+        if (span != 0) {
+            // Byte-addressable media has no FTL/NAND split; the whole
+            // media access lands in the NandRead phase.
+            done = [&eq = media_.eq(), span,
+                    cb = std::move(done)]() mutable {
+                span::phase(span, span::Phase::NandRead, eq.now());
+                cb();
+            };
+        }
         media_.readRange(page_no * kPageBytes, kPageBytes, buf,
                          std::move(done));
     }
 
     void writePage(std::uint64_t page_no, const std::uint8_t* data,
-                   Callback done) override
+                   Callback done, span::Id span = 0) override
     {
+        if (span != 0) {
+            done = [&eq = media_.eq(), span,
+                    cb = std::move(done)]() mutable {
+                span::phase(span, span::Phase::NandProgram, eq.now());
+                cb();
+            };
+        }
         media_.writeRange(page_no * kPageBytes, kPageBytes, data,
                           std::move(done));
     }

@@ -131,10 +131,17 @@ ZNand::claimChannel(std::uint64_t page_no, Tick earliest)
 }
 
 void
-ZNand::readPage(std::uint64_t page_no, std::uint8_t* buf, Callback done)
+ZNand::readPage(std::uint64_t page_no, std::uint8_t* buf, Callback done,
+                span::Id span)
 {
     NVDC_ASSERT(page_no < params_.totalPages(), "NAND page out of range");
     stats_.pageReads.inc();
+    if (span != 0) {
+        done = [this, span, cb = std::move(done)]() mutable {
+            span::phase(span, span::Phase::NandRead, eq_.now());
+            cb();
+        };
+    }
 
     DieState& die = dieOf(page_no);
     Tick array_done = std::max(eq_.now(), die.busyUntil) + params_.tR;
@@ -154,10 +161,16 @@ ZNand::readPage(std::uint64_t page_no, std::uint8_t* buf, Callback done)
 
 void
 ZNand::programPage(std::uint64_t page_no, const std::uint8_t* data,
-                   Callback done)
+                   Callback done, span::Id span)
 {
     NVDC_ASSERT(page_no < params_.totalPages(), "NAND page out of range");
     stats_.pagePrograms.inc();
+    if (span != 0) {
+        done = [this, span, cb = std::move(done)]() mutable {
+            span::phase(span, span::Phase::NandProgram, eq_.now());
+            cb();
+        };
+    }
 
     std::uint64_t block_no = flatBlockOfPage(page_no);
 

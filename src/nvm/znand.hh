@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/span.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "nvm/nvm_media.hh"
@@ -116,19 +117,21 @@ class ZNand
 
     /**
      * Read one page. @p buf (nullable) receives pageBytes of data at
-     * completion.
+     * completion. @p span, if non-zero, gets its NandRead phase
+     * stamped at media-completion time.
      */
     void readPage(std::uint64_t page_no, std::uint8_t* buf,
-                  Callback done);
+                  Callback done, span::Id span = 0);
 
     /**
      * Program one page. The page must be erased; programming a
      * written page or out of order within the block records a
      * discipline violation (and still completes, with the data
-     * clobbered, as real NAND would corrupt).
+     * clobbered, as real NAND would corrupt). @p span, if non-zero,
+     * gets its NandProgram phase stamped at completion.
      */
     void programPage(std::uint64_t page_no, const std::uint8_t* data,
-                     Callback done);
+                     Callback done, span::Id span = 0);
 
     /** Erase a whole block. */
     void eraseBlock(std::uint64_t block_no, Callback done);
@@ -210,15 +213,15 @@ class RawZNandBackend : public PageBackend
     }
 
     void readPage(std::uint64_t page_no, std::uint8_t* buf,
-                  Callback done) override
+                  Callback done, span::Id span = 0) override
     {
-        nand_.readPage(page_no, buf, std::move(done));
+        nand_.readPage(page_no, buf, std::move(done), span);
     }
 
     void writePage(std::uint64_t page_no, const std::uint8_t* data,
-                   Callback done) override
+                   Callback done, span::Id span = 0) override
     {
-        nand_.programPage(page_no, data, std::move(done));
+        nand_.programPage(page_no, data, std::move(done), span);
     }
 
   private:

@@ -59,6 +59,8 @@ encodeCpCommand(const CpCommand& cmd, std::uint8_t out[64])
     put64(out + 16, (std::uint64_t{cmd.dramSlot2} & 0xffffffff) |
                         ((cmd.nandPage2 & 0xffffffff) << 32));
     put64(out + 24, cmd.nandPage2 >> 32);
+    // Word 4: the request-span id (0 when the span layer is off).
+    put64(out + 32, cmd.spanId);
 }
 
 CpCommand
@@ -73,6 +75,7 @@ decodeCpCommand(const std::uint8_t in[64])
     std::uint64_t w2 = get64(in + 16);
     cmd.dramSlot2 = static_cast<std::uint32_t>(w2 & 0xffffffff);
     cmd.nandPage2 = (w2 >> 32) | (get64(in + 24) << 32);
+    cmd.spanId = get64(in + 32);
     return cmd;
 }
 

@@ -45,6 +45,11 @@ struct CpCommand
     /** Second pair, used only by WritebackCachefill (the cf half). */
     std::uint32_t dramSlot2 = 0;
     std::uint64_t nandPage2 = 0;
+    /** Request-span id (common/span.hh) carried in-band so the
+     *  firmware can keep stamping the host op's phases; 0 = none.
+     *  Always encoded (word 4 of the line is otherwise unused), so
+     *  the line's timing is identical with spans on or off. */
+    std::uint64_t spanId = 0;
 
     bool operator==(const CpCommand&) const = default;
 };

@@ -75,6 +75,9 @@ DmaEngine::runNext(Tick win_end)
     }
 
     DmaRequest& req = queue_.front();
+    // Everything between the previous mark and burst start was spent
+    // waiting for a refresh window (plus queueing behind other DMA).
+    span::phase(req.span, span::Phase::WindowWait, eq_.now());
     std::uint32_t chunk =
         control ? req.bytes : std::min(req.bytes, windowBudget_);
     std::uint8_t* rbuf = nullptr;
@@ -97,6 +100,9 @@ DmaEngine::runNext(Tick win_end)
             front.addr += moved;
             front.bufferOffset += moved;
             front.bytes -= moved;
+            if (moved > 0)
+                span::phase(front.span, span::Phase::DmaBurst,
+                            eq_.now());
             if (front.bytes == 0) {
                 auto done = std::move(front.done);
                 queue_.pop_front();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/span.hh"
 #include "common/stats.hh"
 #include "nvmc/ddr4_controller.hh"
 
@@ -35,6 +36,8 @@ struct DmaRequest
     std::shared_ptr<std::vector<std::uint8_t>> buffer;
     std::uint32_t bufferOffset = 0;
     std::function<void()> done;
+    /** Host request span riding this transfer (0 = background). */
+    span::Id span = 0;
 };
 
 /** DMA statistics. */

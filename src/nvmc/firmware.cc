@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/span.hh"
 #include "common/trace.hh"
 
 namespace nvdimmc::nvmc
@@ -76,6 +77,15 @@ Firmware::decodePoll(std::shared_ptr<std::vector<std::uint8_t>> data)
             continue;
         lastPhase_[i] = cmd.phase;
 
+        if (cmd.spanId != 0) {
+            // The command sat in the CP area until the poll read that
+            // carried this batch arrived; the decode delay after that
+            // is A53 software time.
+            span::phase(cmd.spanId, span::Phase::WindowWait,
+                        eq_.now() - cfg_.decodeDelay);
+            span::phase(cmd.spanId, span::Phase::FwDecode, eq_.now());
+        }
+
         Op op;
         op.cmd = cmd;
         op.cpIndex = i;
@@ -126,6 +136,7 @@ Firmware::runCachefill(std::shared_ptr<Op> op, std::uint64_t nand_page,
         req.bytes = nvm::PageBackend::kPageBytes;
         req.isWrite = true;
         req.buffer = op->buffer;
+        req.span = op->cmd.spanId;
         req.done = [this, op, ack_after] {
             if (ack_after) {
                 eq_.scheduleAfter(cfg_.postOpDelay,
@@ -133,7 +144,7 @@ Firmware::runCachefill(std::shared_ptr<Op> op, std::uint64_t nand_page,
             }
         };
         dma_.enqueue(std::move(req));
-    });
+    }, op->cmd.spanId);
 }
 
 void
@@ -147,8 +158,11 @@ Firmware::runWriteback(std::shared_ptr<Op> op, std::uint64_t nand_page,
     req.bytes = nvm::PageBackend::kPageBytes;
     req.isWrite = false;
     req.buffer = op->buffer2;
+    req.span = op->cmd.spanId;
     req.done = [this, op, nand_page, then_cachefill] {
         // Data left the DRAM; it is power-safe in the FPGA buffer.
+        // The program is off the host's critical path (the ack does
+        // not wait for it), so it rides with no span.
         auto program = [this, op, nand_page] {
             backend_.writePage(nand_page, op->buffer2->data(),
                                [op] { /* retained until programmed */ });
@@ -168,7 +182,7 @@ Firmware::runWriteback(std::shared_ptr<Op> op, std::uint64_t nand_page,
                 nand_page, op->buffer2->data(), [this, op] {
                     eq_.scheduleAfter(cfg_.postOpDelay,
                                       [this, op] { writeAck(op); });
-                });
+                }, op->cmd.spanId);
         }
     };
     dma_.enqueue(std::move(req));
@@ -181,6 +195,8 @@ Firmware::writeAck(std::shared_ptr<Op> op)
         ReservedLayout::kLineBytes);
     encodeCpAck({op->cmd.phase, 1}, line->data());
 
+    // Post-op firmware time (completion handling before the ack DMA).
+    span::phase(op->cmd.spanId, span::Phase::FwPost, eq_.now());
     op->ackEnqueuedAt = eq_.now();
     stats_.dataLatency.record(op->ackEnqueuedAt - op->acceptedAt);
 
@@ -189,6 +205,7 @@ Firmware::writeAck(std::shared_ptr<Op> op)
     req.bytes = ReservedLayout::kLineBytes;
     req.isWrite = true;
     req.buffer = line;
+    req.span = op->cmd.spanId;
     req.done = [this, op] {
         stats_.acksWritten.inc();
         stats_.opLatency.record(eq_.now() - op->acceptedAt);

@@ -29,6 +29,7 @@
 #include "common/random.hh"
 #include "common/shard.hh"
 #include "common/sim_mutex.hh"
+#include "common/span.hh"
 #include "common/trace.hh"
 #include "core/system.hh"
 #include "workload/fio.hh"
@@ -334,6 +335,34 @@ TEST(TraceShardAudit, ByteIdenticalTraceAcrossThreadCounts)
     EXPECT_EQ(f1, f4);
     std::remove(p1.c_str());
     std::remove(p4.c_str());
+}
+
+/** shardedRun with the span layer on; returns the breakdown JSON. */
+std::string
+spanBreakdownRun(std::uint32_t channels, std::uint32_t threads)
+{
+    span::enable();
+    span::reset();
+    shardedRun(channels, threads);
+    EXPECT_TRUE(span::audit().ok());
+    std::ostringstream os;
+    span::writeBreakdownJson(os);
+    span::reset();
+    span::disable();
+    return os.str();
+}
+
+TEST(SpanShardAudit, BreakdownJsonByteIdenticalAcrossThreadCounts)
+{
+    // Spans open and close on the host shard, whose event order is
+    // executor-count-invariant, so the exact-integer JSON export must
+    // match byte for byte — the --latency-breakdown determinism
+    // guarantee.
+    std::string t1 = spanBreakdownRun(4, 1);
+    std::string t4 = spanBreakdownRun(4, 4);
+    EXPECT_EQ(t1, t4);
+    EXPECT_NE(t1.find("\"classes\":{"), std::string::npos);
+    EXPECT_NE(t1.find("\"write\":{\"spans\":"), std::string::npos);
 }
 
 TEST(RngShardAudit, InstancesShareNoState)
