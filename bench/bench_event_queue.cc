@@ -14,6 +14,10 @@
  *    (timeout guards, superseded wakeups).
  *  - intrusive_periodic: 64 owner-embedded events rescheduling
  *    themselves in place (iMC wakeups, controller steps).
+ *  - mailbox_single / mailbox_batched: cross-shard mailbox delivery —
+ *    a window's worth of pre-sorted messages admitted one heap push
+ *    at a time vs as one staged batch (the coordinator's path), then
+ *    drained interleaved with the queue's own churn.
  *
  * Every pattern reports events/sec via items_per_second. By default
  * the binary writes its results to BENCH_kernel.json in the working
@@ -142,10 +146,77 @@ BM_IntrusivePeriodic(benchmark::State& state)
                             state.iterations());
 }
 
+/**
+ * Shared body for the mailbox-delivery pair: rounds of `kWindow`
+ * cross-shard messages land on a queue that also runs its own
+ * self-rescheduling churn (the shard's device events), mirroring what
+ * ShardCoordinator::deliverToShards feeds a shard each round.
+ * @p batched picks the admission path: per-message schedule() heap
+ * pushes vs one scheduleBatch() staged lane.
+ */
+void
+runMailboxRounds(benchmark::State& state, bool batched,
+                 std::uint64_t events)
+{
+    const std::uint64_t kWindow = 256; // Messages per round.
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        std::uint64_t churn = 0;
+        // Background churn: 32 device events stepping every round.
+        std::vector<std::function<void()>> steps(32);
+        for (std::uint64_t i = 0; i < steps.size(); ++i) {
+            steps[i] = [&, i] {
+                if (++churn < events)
+                    eq.scheduleAfter(90 + (churn * 5 + i) % 31,
+                                     steps[i]);
+            };
+            eq.scheduleAfter(1 + i, steps[i]);
+        }
+        std::vector<EventQueue::TimedCallback> batch;
+        batch.reserve(kWindow);
+        while (fired < events) {
+            // Build one round's sorted delivery (stamps >= now + 100,
+            // the link latency).
+            Tick base = eq.now() + 100;
+            batch.clear();
+            for (std::uint64_t i = 0; i < kWindow; ++i)
+                batch.push_back(EventQueue::TimedCallback{
+                    base + i / 4, [&] { ++fired; }, 0});
+            if (batched) {
+                eq.scheduleBatch(batch);
+            } else {
+                for (auto& it : batch)
+                    eq.schedule(it.when, std::move(it.fn));
+                batch.clear();
+            }
+            eq.runWindow(base + kWindow);
+        }
+        eq.runAll();
+        benchmark::DoNotOptimize(fired + churn);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                            state.iterations());
+}
+
+void
+BM_MailboxSingle(benchmark::State& state)
+{
+    runMailboxRounds(state, /*batched=*/false, 1'000'000);
+}
+
+void
+BM_MailboxBatched(benchmark::State& state)
+{
+    runMailboxRounds(state, /*batched=*/true, 1'000'000);
+}
+
 BENCHMARK(BM_OneShotChain)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OneShotChurn4k)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ScheduleCancel)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IntrusivePeriodic)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MailboxSingle)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MailboxBatched)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace nvdimmc::bench

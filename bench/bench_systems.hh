@@ -56,8 +56,8 @@ benchChannels()
 /**
  * Simulation thread count every bench system is built with (the
  * --threads=N|auto knob). 0 = classic serial kernel (default);
- * kBenchThreadsAuto = one shard executor per channel; any other N
- * runs the sharded kernel with N executors.
+ * kBenchThreadsAuto = one executor per shard; any other N runs the
+ * sharded kernel with N executors.
  */
 inline constexpr std::uint32_t kBenchThreadsAuto = ~std::uint32_t{0};
 
@@ -68,12 +68,21 @@ benchThreads()
     return threads;
 }
 
-/** Resolve the --threads request against a concrete channel count. */
+/**
+ * Resolve the --threads request against the shard count @p cfg will
+ * actually build: channels x 2 when the media split applies (Z-NAND
+ * channels each contribute a DDR-side and a media shard), channels
+ * otherwise. The system clamps to hardware concurrency on top.
+ */
 inline std::uint32_t
-resolvedBenchThreads(std::uint32_t channels)
+resolvedBenchThreads(const core::SystemConfig& cfg)
 {
     std::uint32_t t = benchThreads();
-    return t == kBenchThreadsAuto ? channels : t;
+    if (t != kBenchThreadsAuto)
+        return t;
+    bool split =
+        cfg.mediaShards && cfg.media == core::MediaKind::ZNand;
+    return cfg.channels * (split ? 2 : 1);
 }
 
 /** Device access function over an NVDIMM-C system (timing-only). */
@@ -115,7 +124,7 @@ makeCachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
     if (tweak)
         tweak(cfg);
     if (cfg.threads == 0)
-        cfg.threads = resolvedBenchThreads(cfg.channels);
+        cfg.threads = resolvedBenchThreads(cfg);
     armSpanAuditor(cfg);
     auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
     // Leave 64 slots per channel free so hits never evict.
@@ -146,7 +155,7 @@ makeUncachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
     if (tweak)
         tweak(cfg);
     if (cfg.threads == 0)
-        cfg.threads = resolvedBenchThreads(cfg.channels);
+        cfg.threads = resolvedBenchThreads(cfg);
     armSpanAuditor(cfg);
     auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
     sys->precondition(0, sys->totalSlotCount(), true);

@@ -398,20 +398,35 @@ struct ShardedRun
 
 ShardedRun
 runShardedFio(std::uint32_t channels, std::uint32_t threads,
-              FioConfig::Pattern pattern)
+              FioConfig::Pattern pattern, bool media_shards = true,
+              bool uncached = false)
 {
     auto t0 = std::chrono::steady_clock::now();
-    auto sys = makeCachedSystem([=](core::SystemConfig& c) {
+    auto tweak = [=](core::SystemConfig& c) {
         c.channels = channels;
         c.threads = threads;
-    });
+        c.mediaShards = media_shards;
+    };
+    auto sys =
+        uncached ? makeUncachedSystem(tweak) : makeCachedSystem(tweak);
     FioConfig cfg;
     cfg.pattern = pattern;
     cfg.blockSize = 4096;
-    cfg.threads = 8;
-    cfg.regionBytes = cachedRegionBytes(*sys);
-    cfg.rampTime = 2 * kMs;
-    cfg.runTime = 25 * kMs;
+    if (uncached) {
+        // All-miss: every access pays a writeback + cachefill, so the
+        // FTL + Z-NAND shards carry real load.
+        auto [base, bytes] = uncachedRegion(*sys);
+        cfg.regionOffset = base;
+        cfg.regionBytes = bytes;
+        cfg.threads = 4;
+        cfg.rampTime = 2 * kMs;
+        cfg.runTime = 40 * kMs;
+    } else {
+        cfg.threads = 8;
+        cfg.regionBytes = cachedRegionBytes(*sys);
+        cfg.rampTime = 2 * kMs;
+        cfg.runTime = 25 * kMs;
+    }
     ShardedRun run;
     run.fio = runFio(sys->eq(), nvdcAccess(*sys), cfg);
     std::ostringstream stats;
@@ -433,10 +448,13 @@ runShardedFio(std::uint32_t channels, std::uint32_t threads,
  */
 PointResult
 runParallelVerifyPoint(std::uint32_t channels, std::uint32_t threads,
-                       FioConfig::Pattern pattern)
+                       FioConfig::Pattern pattern,
+                       bool uncached = false)
 {
-    ShardedRun ser = runShardedFio(channels, 1, pattern);
-    ShardedRun par = runShardedFio(channels, threads, pattern);
+    ShardedRun ser = runShardedFio(channels, 1, pattern,
+                                   /*media_shards=*/true, uncached);
+    ShardedRun par = runShardedFio(channels, threads, pattern,
+                                   /*media_shards=*/true, uncached);
     const bool ok = ser.fio.mbps == par.fio.mbps &&
                     ser.fio.kiops == par.fio.kiops &&
                     ser.fio.ops == par.fio.ops &&
@@ -461,26 +479,35 @@ runParallelVerifyPoint(std::uint32_t channels, std::uint32_t threads,
 
 /** One threads x channels scaling-matrix point. */
 PointResult
-runParallelMatrixPoint(std::uint32_t channels, std::uint32_t threads)
+runParallelMatrixPoint(std::uint32_t channels, std::uint32_t threads,
+                       bool media_shards = true,
+                       bool uncached = false)
 {
-    ShardedRun run = runShardedFio(channels, threads,
-                                   FioConfig::Pattern::RandRead);
+    ShardedRun run =
+        runShardedFio(channels, threads, FioConfig::Pattern::RandRead,
+                      media_shards, uncached);
     PointResult out = fioPoint(run.fio);
     out.metrics.emplace_back("channels",
                              static_cast<double>(channels));
     out.metrics.emplace_back("threads", static_cast<double>(threads));
+    out.metrics.emplace_back("media_shards", media_shards ? 1.0 : 0.0);
     out.perf = {{"wall_run_ms", run.wallMs}};
     return out;
 }
 
 /**
- * The parallel-in-time kernel sweep (EXPERIMENTS.md): verify/<N>ch
+ * The parallel-in-time kernel sweep (EXPERIMENTS.md): verify/<N>ch*
  * points prove executors=N byte-identical to executors=1 on the same
- * sharded machine; matrix/<N>ch_t<T> points record the wall-clock
- * scaling study folded into BENCH_parallel.json. threads=0 is the
- * classic serial kernel baseline (a different modeled machine — no
- * host link — so its throughput differs slightly by design);
- * threads >= 1 is the sharded kernel.
+ * sharded machine — including executor counts *above* the channel
+ * count, which only the media-split shards can absorb, and an
+ * uncached point that keeps the FTL + Z-NAND shards under real load;
+ * matrix/<N>ch_t<T> points record the threads x channels wall-clock
+ * scaling study folded into BENCH_parallel.json (t > N rows ride on
+ * the media shards; the media/ pair isolates the split's own win at
+ * a fixed channel count). threads=0 is the classic serial kernel
+ * baseline (a different modeled machine — no host or media link — so
+ * its throughput differs slightly by design); threads >= 1 is the
+ * sharded kernel.
  */
 Sweep
 makeParallelSweep()
@@ -492,11 +519,24 @@ makeParallelSweep()
             return runParallelVerifyPoint(
                 n, n, FioConfig::Pattern::RandRead);
         }});
+        // Executors beyond the channel count: only sound because the
+        // media split doubled the shard vector.
+        p.push_back({"verify/" + std::to_string(n) + "ch_t" +
+                         std::to_string(2 * n),
+                     [n] {
+                         return runParallelVerifyPoint(
+                             n, 2 * n, FioConfig::Pattern::RandRead);
+                     }});
     }
+    p.push_back({"verify/2ch_uncached_t4", [] {
+        return runParallelVerifyPoint(
+            2, 4, FioConfig::Pattern::RandRead, /*uncached=*/true);
+    }});
     for (std::uint32_t n : {1u, 2u, 4u}) {
         std::vector<std::uint32_t> threads = {0u, 1u};
         if (n > 1)
             threads.push_back(n);
+        threads.push_back(2 * n);
         for (std::uint32_t t : threads) {
             p.push_back({"matrix/" + std::to_string(n) + "ch_t" +
                              std::to_string(t),
@@ -505,6 +545,17 @@ makeParallelSweep()
                          }});
         }
     }
+    // The media split's own contribution, all else fixed: an all-miss
+    // load on 4 channels with executors pinned at the channel count
+    // (media shards off) vs the full shard vector (on).
+    p.push_back({"media/4ch_uncached_off_t4", [] {
+        return runParallelMatrixPoint(4, 4, /*media_shards=*/false,
+                                      /*uncached=*/true);
+    }});
+    p.push_back({"media/4ch_uncached_on_t8", [] {
+        return runParallelMatrixPoint(4, 8, /*media_shards=*/true,
+                                      /*uncached=*/true);
+    }});
     return sweep;
 }
 

@@ -36,10 +36,61 @@ EventQueue::skipDead()
     }
 }
 
+std::size_t
+EventQueue::bestStage() const
+{
+    std::size_t best = stages_.size();
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        const TimedCallback& head = stages_[i].items[stages_[i].cursor];
+        if (best == stages_.size())
+            best = i;
+        else {
+            const TimedCallback& b =
+                stages_[best].items[stages_[best].cursor];
+            if (head.when < b.when ||
+                (head.when == b.when && head.seq < b.seq))
+                best = i;
+        }
+    }
+    return best;
+}
+
+void
+EventQueue::fireStaged(std::size_t si)
+{
+    Stage& st = stages_[si];
+    TimedCallback& it = st.items[st.cursor++];
+    NVDC_ASSERT(it.when >= now_, "event in the past");
+    now_ = it.when;
+    --livePending_;
+    ++fired_;
+    // Detach the callable before touching stages_ again: the callback
+    // may re-enter scheduleBatch and invalidate references.
+    Callback fn = std::move(it.fn);
+    if (st.cursor == st.items.size()) {
+        st.items.clear();
+        freeStageBufs_.push_back(std::move(st.items));
+        stages_.erase(stages_.begin() +
+                      static_cast<std::ptrdiff_t>(si));
+    }
+    if (fn)
+        fn();
+}
+
 bool
 EventQueue::fireNext()
 {
     skipDead();
+    if (!stages_.empty()) {
+        std::size_t si = bestStage();
+        const TimedCallback& head = stages_[si].items[stages_[si].cursor];
+        if (heap_.empty() || head.when < heap_.front().when ||
+            (head.when == heap_.front().when &&
+             head.seq < heap_.front().seq)) {
+            fireStaged(si);
+            return true;
+        }
+    }
     if (heap_.empty())
         return false;
     HeapEntry top = heap_.front();
@@ -52,6 +103,33 @@ EventQueue::fireNext()
     ++fired_;
     top.ev->process();
     return true;
+}
+
+void
+EventQueue::scheduleBatch(std::vector<TimedCallback>& batch)
+{
+    if (batch.empty())
+        return;
+    Tick prev = 0;
+    for (TimedCallback& it : batch) {
+        if (it.when < now_) {
+            panic("EventQueue: batch element at tick ", it.when,
+                  " which is before now ", now_);
+        }
+        NVDC_ASSERT(it.when >= prev,
+                    "scheduleBatch requires a tick-sorted batch");
+        prev = it.when;
+        it.seq = nextSeq_++;
+    }
+    livePending_ += batch.size();
+
+    Stage st;
+    if (!freeStageBufs_.empty()) {
+        st.items = std::move(freeStageBufs_.back());
+        freeStageBufs_.pop_back();
+    }
+    st.items.swap(batch); // Hand a recycled empty buffer back.
+    stages_.push_back(std::move(st));
 }
 
 bool
@@ -71,8 +149,8 @@ EventQueue::runUntil(Tick when)
     }
     NVDC_ASSERT(when >= now_, "runUntil into the past");
     for (;;) {
-        skipDead();
-        if (heap_.empty() || heap_.front().when > when)
+        Tick t = peekNextTick();
+        if (t > when)
             break;
         fireNext();
     }
@@ -95,8 +173,8 @@ EventQueue::runWindow(Tick end)
 {
     NVDC_ASSERT(end >= now_, "runWindow into the past");
     for (;;) {
-        skipDead();
-        if (heap_.empty() || heap_.front().when >= end)
+        Tick t = peekNextTick();
+        if (t >= end)
             break;
         fireNext();
     }
@@ -107,7 +185,10 @@ Tick
 EventQueue::peekNextTick()
 {
     skipDead();
-    return heap_.empty() ? kTickNever : heap_.front().when;
+    Tick t = heap_.empty() ? kTickNever : heap_.front().when;
+    for (const Stage& st : stages_)
+        t = std::min(t, st.items[st.cursor].when);
+    return t;
 }
 
 void

@@ -23,8 +23,19 @@
  *    itself is recycled, so steady state allocates nothing). The
  *    returned EventId is usable with cancel()/isPending().
  *
- * Both kinds share one binary heap of {tick, seq, Event*} records and
- * one sequence counter, so their relative FIFO order is exact.
+ *  - Staged batches. scheduleBatch(sorted vector) admits a whole
+ *    pre-sorted train of never-cancelled one-shots — the sharded
+ *    kernel's per-window mailbox deliveries — without touching the
+ *    binary heap at all: the batch keeps its vector, a cursor walks
+ *    it, and the dispatcher merges batch heads against the heap top.
+ *    Per message that is O(1) amortized instead of O(log heap), and
+ *    the batch buffers recycle through a free list so steady state
+ *    allocates nothing (bench_event_queue BM_Mailbox* measures the
+ *    difference).
+ *
+ * All kinds share one sequence counter (heap events also share one
+ * binary heap of {tick, seq, Event*} records), so their relative FIFO
+ * order is exact.
  *
  * Lifetime rule for intrusive events: the Event object must outlive
  * every tick it was ever scheduled for — even if descheduled, the
@@ -198,6 +209,31 @@ class EventQueue
      */
     void cancel(EventId id);
 
+    /** @} */
+
+    /** @name Staged batch API */
+    /** @{ */
+
+    /** One element of a staged batch. */
+    struct TimedCallback
+    {
+        Tick when = 0;
+        Callback fn;
+        /** Assigned by scheduleBatch; callers leave it alone. */
+        std::uint64_t seq = 0;
+    };
+
+    /**
+     * Admit a whole batch of one-shot callbacks in a single call.
+     * @p batch must be sorted by tick (stable for ties) with every
+     * stamp >= now(); the elements keep exact FIFO order against
+     * events scheduled later. The batch cannot be cancelled. The
+     * vector's storage is taken over and a recycled empty buffer is
+     * swapped back, so a caller delivering every window reuses
+     * capacity and never allocates in steady state.
+     */
+    void scheduleBatch(std::vector<TimedCallback>& batch);
+
     /** @return true iff @p id is scheduled and not yet fired/cancelled. */
     bool isPending(EventId id) const { return lookupCallback(id) != nullptr; }
 
@@ -322,11 +358,25 @@ class EventQueue
         return e.ev->sched_ && e.ev->seq_ == e.seq;
     }
 
+    /** One staged batch mid-consumption. */
+    struct Stage
+    {
+        std::vector<TimedCallback> items;
+        std::size_t cursor = 0;
+    };
+
     /** Pop stale records off the heap head. */
     void skipDead();
 
     /** Pop entries until a live one is found; fire it. */
     bool fireNext();
+
+    /** Index into stages_ of the earliest (when, seq) head, or
+     *  stages_.size() if none. */
+    std::size_t bestStage() const;
+
+    /** Fire the head of stages_[si]; recycles the batch when drained. */
+    void fireStaged(std::size_t si);
 
     /** Grab a free pooled slot (grows the pool only on first use of a
      *  new depth; steady state never allocates). */
@@ -390,6 +440,11 @@ class EventQueue
     std::vector<HeapEntry> heap_;
     std::vector<std::unique_ptr<CallbackEvent>> pool_;
     std::vector<std::uint32_t> freeSlots_;
+    /** Staged batches being consumed (usually 0 or 1; linear scans
+     *  beat a heap at that size). */
+    std::vector<Stage> stages_;
+    /** Drained batch buffers awaiting reuse. */
+    std::vector<std::vector<TimedCallback>> freeStageBufs_;
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 1;

@@ -36,6 +36,13 @@ spinWait(Pred&& ready)
         std::this_thread::yield();
 }
 
+/** t + dt without wrapping past kTickNever. */
+inline Tick
+satAdd(Tick t, Tick dt)
+{
+    return dt >= kTickNever - t ? kTickNever : t + dt;
+}
+
 } // namespace
 
 ShardCoordinator::ShardCoordinator(EventQueue& host,
@@ -48,14 +55,18 @@ ShardCoordinator::ShardCoordinator(EventQueue& host,
           1u, std::min(executors,
                        static_cast<unsigned>(
                            std::max<std::size_t>(1, shards_.size()))))),
-      toShard_(shards_.size()),
-      toHost_(shards_.size()),
+      outbox_(shards_.size()),
+      pending_(shards_.size()),
+      links_(shards_.size()),
+      defaultLinks_(shards_.size(), true),
       errors_(executors_)
 {
     NVDC_ASSERT(!shards_.empty(), "sharded system needs >= 1 shard");
     NVDC_ASSERT(quantum_ > 0, "sync quantum must be positive");
     for (EventQueue* s : shards_)
         NVDC_ASSERT(s && s != &host_, "bad shard queue");
+    for (auto& ls : links_)
+        ls.push_back(Link{kToHost, quantum_, {}});
 }
 
 ShardCoordinator::~ShardCoordinator()
@@ -77,35 +88,94 @@ ShardCoordinator::totalEventsFired() const
 }
 
 void
+ShardCoordinator::setLink(std::uint32_t src, std::int32_t dest,
+                          Tick latency, Promise promise)
+{
+    NVDC_ASSERT(src < shardCount(), "setLink: bad source shard");
+    NVDC_ASSERT(dest == kToHost ||
+                    (dest >= 0 &&
+                     static_cast<std::uint32_t>(dest) < shardCount() &&
+                     static_cast<std::uint32_t>(dest) != src),
+                "setLink: bad destination");
+    NVDC_ASSERT(latency > 0, "link latency must be positive (it is "
+                             "the cross-shard lookahead)");
+    auto& ls = links_[src];
+    if (defaultLinks_[src]) {
+        // The first explicit link supersedes the default quantum link:
+        // a fully-described shard only constrains the window through
+        // the links it really has.
+        ls.clear();
+        defaultLinks_[src] = false;
+    }
+    for (Link& l : ls) {
+        if (l.dest == dest) {
+            l.latency = latency;
+            l.promise = std::move(promise);
+            return;
+        }
+    }
+    ls.push_back(Link{dest, latency, std::move(promise)});
+}
+
+void
 ShardCoordinator::postToShard(std::uint32_t shard, Tick when, Fn fn)
 {
     NVDC_ASSERT(shard < shardCount(), "postToShard: bad shard index");
     // The conservative checker: while a round is in flight the current
     // window ends at windowEnd_, and a delivery below it could land in
     // the destination shard's past. A trip here means the sync quantum
-    // exceeds the cross-shard interaction latency.
+    // (or an adaptive-lookahead promise) exceeds the cross-shard
+    // interaction latency.
     NVDC_ASSERT(!inRound_ ||
                     when >= windowEnd_.load(std::memory_order_relaxed),
                 "cross-shard message inside the sync window: quantum "
                 "exceeds the conservative lookahead bound");
-    toShard_[shard].msgs.push_back(Msg{when, std::move(fn)});
+    pending_[shard].push_back(
+        EventQueue::TimedCallback{when, std::move(fn), 0});
 }
 
 void
 ShardCoordinator::postToHost(std::uint32_t shard, Tick when, Fn fn)
 {
     NVDC_ASSERT(shard < shardCount(), "postToHost: bad shard index");
-    toHost_[shard].msgs.push_back(Msg{when, std::move(fn)});
+    NVDC_ASSERT(!inRound_ ||
+                    when >= windowEnd_.load(std::memory_order_relaxed),
+                "shard-to-host message inside the sync window: an "
+                "output promise or link latency was broken");
+    outbox_[shard].msgs.push_back(Msg{when, kToHost, std::move(fn)});
+}
+
+void
+ShardCoordinator::postToPeer(std::uint32_t from, std::uint32_t to,
+                             Tick when, Fn fn)
+{
+    NVDC_ASSERT(from < shardCount() && to < shardCount() && from != to,
+                "postToPeer: bad shard pair");
+    NVDC_ASSERT(!inRound_ ||
+                    when >= windowEnd_.load(std::memory_order_relaxed),
+                "peer-to-peer message inside the sync window: an "
+                "output promise or link latency was broken");
+    outbox_[from].msgs.push_back(
+        Msg{when, static_cast<std::int32_t>(to), std::move(fn)});
 }
 
 void
 ShardCoordinator::deliverToShards()
 {
     for (std::uint32_t s = 0; s < shardCount(); ++s) {
-        auto& mb = toShard_[s];
-        for (Msg& m : mb.msgs)
-            shards_[s]->schedule(m.when, std::move(m.fn));
-        mb.msgs.clear();
+        auto& box = pending_[s];
+        if (box.empty())
+            continue;
+        // Batch delivery: one sort + one staged-batch admission per
+        // shard per round instead of a heap push per message. The
+        // stable sort keeps same-tick messages in post order, so the
+        // sequence is exactly what per-message scheduling produced.
+        std::stable_sort(box.begin(), box.end(),
+                         [](const EventQueue::TimedCallback& a,
+                            const EventQueue::TimedCallback& b) {
+                             return a.when < b.when;
+                         });
+        shards_[s]->scheduleBatch(box);
     }
 }
 
@@ -116,6 +186,29 @@ ShardCoordinator::earliestWork()
     for (EventQueue* s : shards_)
         t = std::min(t, s->peekNextTick());
     return t;
+}
+
+Tick
+ShardCoordinator::windowBound()
+{
+    Tick e = kTickNever;
+    // The host's own outputs are bounded by the quantum its ports were
+    // built around.
+    Tick ph = host_.peekNextTick();
+    if (ph != kTickNever)
+        e = std::min(e, satAdd(ph, quantum_));
+    for (std::uint32_t s = 0; s < shardCount(); ++s) {
+        Tick p = shards_[s]->peekNextTick();
+        if (p == kTickNever)
+            continue; // No event to fire -> nothing can be emitted.
+        for (const Link& l : links_[s]) {
+            Tick b = satAdd(p, l.latency);
+            if (l.promise)
+                b = std::max(b, l.promise());
+            e = std::min(e, b);
+        }
+    }
+    return e;
 }
 
 void
@@ -211,24 +304,33 @@ ShardCoordinator::round(Tick end)
     }
     rethrowShardError();
 
-    // Deterministic merge: concatenating the per-shard mailboxes in
-    // shard order and stable-sorting by tick yields the canonical
-    // (tick, shard, post-order) sequence regardless of which worker
-    // ran which shard.
+    // Route the outboxes in shard order. Host-bound messages merge
+    // deterministically: concatenating in shard order and stable-
+    // sorting by tick yields the canonical (tick, shard, post-order)
+    // sequence regardless of which worker ran which shard. Peer-bound
+    // messages append to the destination's pending box, delivered at
+    // the next round's top in the same canonical order.
     merge_.clear();
     for (std::uint32_t s = 0; s < n; ++s) {
-        auto& mb = toHost_[s];
-        for (Msg& m : mb.msgs)
-            merge_.push_back(std::move(m));
-        mb.msgs.clear();
+        auto& box = outbox_[s];
+        for (Msg& m : box.msgs) {
+            if (m.dest == kToHost) {
+                merge_.push_back(EventQueue::TimedCallback{
+                    m.when, std::move(m.fn), 0});
+            } else {
+                pending_[static_cast<std::uint32_t>(m.dest)].push_back(
+                    EventQueue::TimedCallback{m.when, std::move(m.fn),
+                                              0});
+            }
+        }
+        box.msgs.clear();
     }
     std::stable_sort(merge_.begin(), merge_.end(),
-                     [](const Msg& a, const Msg& b) {
+                     [](const EventQueue::TimedCallback& a,
+                        const EventQueue::TimedCallback& b) {
                          return a.when < b.when;
                      });
-    for (Msg& m : merge_)
-        host_.schedule(m.when, std::move(m.fn));
-    merge_.clear();
+    host_.scheduleBatch(merge_); // Consumes; hands back empty scratch.
 
     host_.runWindow(end);
     inRound_ = false;
@@ -250,9 +352,15 @@ ShardCoordinator::runUntil(Tick target)
             break;
         }
         // The window may start later than now (idle skip) but never
-        // spans more than quantum_ past the earliest event, so every
-        // in-window stamp keeps its lookahead.
-        round(std::min(next + quantum_, target));
+        // extends past any link's conservative output bound, so every
+        // in-window stamp keeps its lookahead. When every link is
+        // provably quiet (promises say nothing is in flight) the
+        // round runs straight to the target — the decoupled fast
+        // path.
+        Tick bound = windowBound();
+        NVDC_ASSERT(bound > next, "window bound regressed below the "
+                                  "earliest runnable event");
+        round(std::min(bound, target));
     }
 }
 

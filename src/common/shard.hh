@@ -4,29 +4,49 @@
  *
  * A sharded simulation splits the machine into one *host* shard (the
  * CPU-side components: driver, cache model, memcpy engine, workloads)
- * plus one shard per memory channel (iMC, bus, DRAM, NVMC, FTL,
- * Z-NAND). Each shard owns a private EventQueue; the channel shards
- * execute on worker threads while the host shard always runs on the
- * coordinating thread.
+ * plus a set of device shards. The classic topology is one shard per
+ * memory channel; with media splitting each channel contributes two —
+ * a DDR-side shard (iMC, bus, DRAM, NVMC controller + firmware) and a
+ * media shard (FTL + Z-NAND) — joined by the same mailbox seam. Each
+ * shard owns a private EventQueue; device shards execute on worker
+ * threads while the host shard always runs on the coordinating thread.
  *
  * Correctness rests on a classic conservative-lookahead argument.
  * Every cross-shard interaction goes through a mailbox message stamped
- * at least L ticks into the future, where L is the modeled host-link
- * routing latency (and the binding term of the auto-derived sync
- * quantum; see core::NvdimmcSystem::quantumBound). Time advances in
- * windows of at most Q <= L ticks:
+ * at least L ticks into the future, where L is the modeled latency of
+ * the *link* it crosses. Links are per ordered pair: host<->DDR-shard
+ * links carry the host-link latency (the binding term of the
+ * auto-derived sync quantum; see core::NvdimmcSystem::quantumBound),
+ * while firmware<->media links carry the µs-scale media command
+ * latency — so the coordinator derives *per-pair* lookahead instead of
+ * one global minimum. Time advances in rounds:
  *
- *   1. deliver pending host->channel messages into the shard queues
- *      (their stamps are never below the shard clocks),
- *   2. run every channel shard's window [W, W+Q) in parallel; channel
- *      completions do not call host code, they append to per-shard
- *      channel->host mailboxes,
- *   3. barrier, then merge the channel->host messages in a
- *      deterministic order — (tick, channel index, per-mailbox
- *      sequence) — into the host queue,
- *   4. run the host window [W, W+Q) on the coordinating thread; host
- *      calls into the port post messages stamped now+L >= W+Q, so
- *      nothing can land in a channel's past.
+ *   1. deliver pending messages into the shard queues as sorted
+ *      batches (their stamps are never below the shard clocks),
+ *   2. pick the window end E = min over every link (s -> d) of
+ *      max(peek(s) + L(s,d), promise(s,d)); a shard with no runnable
+ *      event cannot emit anything this round and contributes nothing,
+ *   3. run every device shard's window [clock, E) in parallel; shard
+ *      code never calls across the seam, it appends messages (to the
+ *      host or a peer shard) to its outbox,
+ *   4. barrier, then route the outboxes in shard order: host-bound
+ *      messages merge deterministically — (tick, shard, post order) —
+ *      into the host queue as one batch; peer-bound messages queue for
+ *      the next round's delivery,
+ *   5. run the host window [clock, E) on the coordinating thread; host
+ *      calls into a port post messages stamped now+L >= E, so nothing
+ *      can land in a shard's past.
+ *
+ * Adaptive lookahead (the promise term in step 2) is null-message
+ * style: a link may register a promise function returning a lower
+ * bound on the stamp of the *next* message that will ever cross it —
+ * kTickNever when the owning port can prove it has nothing in flight
+ * (no posted-but-unacknowledged ops), which lets the neighbours run
+ * ahead past the static quantum. Promises are queried only between
+ * rounds, on the coordinating thread, from state the barrier already
+ * synchronized; the runtime conservative checker (below) still
+ * verifies every actual message against the window it was posted in,
+ * so an unsound promise trips an assertion instead of corrupting time.
  *
  * Because the per-window schedule, the mailbox merge order, and every
  * message stamp are independent of how shards map onto OS threads,
@@ -37,11 +57,11 @@
  * free, as in the serial kernel.
  *
  * The mailboxes are single-producer/single-consumer by construction:
- * host->channel boxes are filled during the host phase and drained
- * before the next channel phase; channel->host boxes are filled by
+ * deliveries are built by the coordinating thread between rounds and
+ * drained before the next device phase; each outbox is filled only by
  * whichever worker runs that shard's window and drained after the
  * barrier. The barrier's release/acquire pair is the only
- * synchronization the payloads need.
+ * synchronization the payloads (and the promise inputs) need.
  */
 
 #ifndef NVDIMMC_COMMON_SHARD_HH
@@ -62,7 +82,7 @@ namespace nvdimmc
 {
 
 /**
- * Barrier-quantum scheduler over one host EventQueue and N channel
+ * Barrier-quantum scheduler over one host EventQueue and N device
  * shard EventQueues. Owns the worker pool (executors-1 threads,
  * started lazily on the first parallel window); shard i runs on
  * executor i % executors, executor 0 being the coordinating thread.
@@ -71,16 +91,25 @@ class ShardCoordinator
 {
   public:
     using Fn = std::function<void()>;
+    /** Returns a lower bound on the stamp of the next message to
+     *  cross the owning link (kTickNever = provably nothing in
+     *  flight; 0 = no promise beyond the static bound). Queried
+     *  between rounds on the coordinating thread only. */
+    using Promise = std::function<Tick()>;
+    /** Link destination naming the host shard. */
+    static constexpr std::int32_t kToHost = -1;
 
     /**
      * @param host     the host shard's queue (also the delegation
      *                 target: host.setCoordinator(this) makes the
      *                 public run methods drive the whole system).
-     * @param shards   one queue per channel shard, channel order.
-     * @param quantum  conservative sync quantum; the caller must
-     *                 guarantee every cross-shard message is stamped
-     *                 at least @p quantum ticks ahead of the posting
-     *                 shard's clock.
+     * @param shards   one queue per device shard.
+     * @param quantum  conservative sync quantum for the default
+     *                 shard->host links (every shard starts with one);
+     *                 also the host's own output bound. The caller
+     *                 must guarantee every message crossing a link is
+     *                 stamped at least that link's latency ahead of
+     *                 the posting shard's clock.
      * @param executors total executing threads (>= 1); clamped to the
      *                 shard count.
      */
@@ -101,6 +130,22 @@ class ShardCoordinator
     std::uint64_t windows() const { return windows_; }
     /** Events fired on the host and every shard combined. */
     std::uint64_t totalEventsFired() const;
+    /** Is a sync window currently executing? Ports use this to route
+     *  pre/post-run calls (preconditioning, post-mortem dumps)
+     *  directly instead of through a mailbox nobody will drain. */
+    bool inRound() const { return inRound_; }
+
+    /**
+     * Declare (or replace) the outgoing link from @p src to @p dest
+     * (a shard index, or kToHost). @p latency is the minimum lead
+     * every message crossing it carries; the optional @p promise adds
+     * adaptive lookahead on top. A shard's first setLink() discards
+     * its default shard->host quantum link, so a fully-specified
+     * topology only pays for the links it really has. Call before the
+     * first run.
+     */
+    void setLink(std::uint32_t src, std::int32_t dest, Tick latency,
+                 Promise promise = {});
 
     /**
      * Post @p fn to run on shard @p shard's queue at tick @p when.
@@ -111,11 +156,20 @@ class ShardCoordinator
     void postToShard(std::uint32_t shard, Tick when, Fn fn);
 
     /**
-     * Post @p fn to run on the host queue at tick @p when. Channel
+     * Post @p fn to run on the host queue at tick @p when. Device
      * phase only, called by the worker executing @p shard's window;
      * delivery happens after the barrier, merged deterministically.
      */
     void postToHost(std::uint32_t shard, Tick when, Fn fn);
+
+    /**
+     * Post @p fn to run on peer shard @p to's queue at tick @p when.
+     * Device phase only, called by the worker executing shard
+     * @p from's window (the firmware <-> media seam); routed after the
+     * barrier and delivered before the next round.
+     */
+    void postToPeer(std::uint32_t from, std::uint32_t to, Tick when,
+                    Fn fn);
 
     /** @name Drive API (EventQueue delegation targets). */
     /** @{ */
@@ -133,14 +187,23 @@ class ShardCoordinator
     struct Msg
     {
         Tick when;
+        std::int32_t dest; ///< Shard index, or kToHost.
         Fn fn;
     };
 
-    /** One direction of one shard pair; padded so producers on
-     *  different workers never share a cache line. */
-    struct alignas(64) Mailbox
+    /** A shard's outgoing messages for the current round; padded so
+     *  producers on different workers never share a cache line. */
+    struct alignas(64) Outbox
     {
         std::vector<Msg> msgs;
+    };
+
+    /** One outgoing link and its conservative bound. */
+    struct Link
+    {
+        std::int32_t dest;
+        Tick latency;
+        Promise promise;
     };
 
     struct alignas(64) WorkerSlot
@@ -151,6 +214,10 @@ class ShardCoordinator
 
     void deliverToShards();
     Tick earliestWork();
+    /** Window end bound: min over links of the earliest stamp the
+     *  source shard could emit across it (kTickNever if no shard can
+     *  emit at all). */
+    Tick windowBound();
     /** Advance every clock to @p t; no shard may hold an event
      *  before it. */
     void advanceAll(Tick t);
@@ -167,9 +234,15 @@ class ShardCoordinator
     const Tick quantum_;
     const unsigned executors_;
 
-    std::vector<Mailbox> toShard_; ///< host -> shard i.
-    std::vector<Mailbox> toHost_;  ///< shard i -> host.
-    std::vector<Msg> merge_;       ///< Reused merge scratch.
+    std::vector<Outbox> outbox_; ///< Shard i -> host/peers, this round.
+    /** Pending deliveries into shard i (built on the coordinating
+     *  thread: host posts during its window, routed peer messages
+     *  after each barrier); sorted + batch-scheduled next round. */
+    std::vector<std::vector<EventQueue::TimedCallback>> pending_;
+    std::vector<EventQueue::TimedCallback> merge_; ///< Merge scratch.
+
+    std::vector<std::vector<Link>> links_; ///< Per-shard outgoing.
+    std::vector<bool> defaultLinks_; ///< links_[s] still the default?
 
     bool inRound_ = false;
     std::uint64_t windows_ = 0;

@@ -10,7 +10,7 @@ namespace nvdimmc::core
 
 Channel::Channel(EventQueue& eq, const SystemConfig& cfg,
                  std::uint32_t index, std::uint32_t count,
-                 std::uint32_t cp_depth)
+                 std::uint32_t cp_depth, EventQueue* media_eq)
     : index_(index)
 {
     map_ = std::make_unique<dram::AddressMap>(cfg.dramCacheBytes);
@@ -33,9 +33,18 @@ Channel::Channel(EventQueue& eq, const SystemConfig& cfg,
 
     switch (cfg.media) {
       case MediaKind::ZNand: {
-        znand_ = std::make_unique<nvm::ZNand>(eq, cfg.znand);
-        ftl_ = std::make_unique<ftl::Ftl>(eq, *znand_, cfg.ftl);
-        backend_ = ftl_.get();
+        // With a media queue, the whole media stack simulates on its
+        // own shard; the firmware reaches it through the MediaPort
+        // seam instead of calling the FTL directly.
+        EventQueue& meq = media_eq ? *media_eq : eq;
+        znand_ = std::make_unique<nvm::ZNand>(meq, cfg.znand);
+        ftl_ = std::make_unique<ftl::Ftl>(meq, *znand_, cfg.ftl);
+        if (media_eq) {
+            mediaPort_ = std::make_unique<nvm::MediaPort>(*ftl_);
+            backend_ = mediaPort_.get();
+        } else {
+            backend_ = ftl_.get();
+        }
         break;
       }
       case MediaKind::Pram:

@@ -34,11 +34,18 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
                                       cfg_.nvmc.firmware.cpQueueDepth);
 
     // Sharded (parallel-in-time) mode: every channel simulates on its
-    // own event queue; the host-side components stay on eq_.
+    // own event queue; the host-side components stay on eq_. With
+    // media splitting each Z-NAND channel contributes a second shard
+    // for its FTL + flash, so the shard vector is laid out
+    // [ddr0..ddrN-1, media0..mediaN-1].
     const bool sharded = cfg_.threads >= 1;
+    const bool media_split = sharded && cfg_.mediaShards &&
+                             cfg_.media == MediaKind::ZNand;
+    const std::uint32_t nshards =
+        cfg_.channels * (media_split ? 2 : 1);
     if (sharded) {
-        shardQueues_.reserve(cfg_.channels);
-        for (std::uint32_t i = 0; i < cfg_.channels; ++i)
+        shardQueues_.reserve(nshards);
+        for (std::uint32_t i = 0; i < nshards; ++i)
             shardQueues_.push_back(std::make_unique<EventQueue>());
     }
 
@@ -46,7 +53,9 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
     for (std::uint32_t i = 0; i < cfg_.channels; ++i)
         channels_.push_back(std::make_unique<Channel>(
             sharded ? *shardQueues_[i] : eq_, cfg_, i, cfg_.channels,
-            cp_depth));
+            cp_depth,
+            media_split ? shardQueues_[cfg_.channels + i].get()
+                        : nullptr));
 
     std::vector<imc::Imc*> imcs;
     imcs.reserve(channels_.size());
@@ -86,7 +95,8 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
         unsigned hw =
             std::max(1u, std::thread::hardware_concurrency());
         unsigned executors =
-            std::min({cfg_.threads, cfg_.channels, hw});
+            std::min({static_cast<unsigned>(cfg_.threads),
+                      static_cast<unsigned>(nshards), hw});
 
         std::vector<EventQueue*> qs;
         qs.reserve(shardQueues_.size());
@@ -95,9 +105,35 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
         coord_ = std::make_unique<ShardCoordinator>(eq_, qs, quantum,
                                                     executors);
         eq_.setCoordinator(coord_.get());
-        hostPort_->enableSharding(*coord_, eq_, std::move(qs),
+        // The host port only routes to the DDR-side shards; a split
+        // channel's media shard is reachable solely through its
+        // MediaPort seam.
+        std::vector<EventQueue*> ddr_qs(
+            qs.begin(), qs.begin() + cfg_.channels);
+        hostPort_->enableSharding(*coord_, eq_, std::move(ddr_qs),
                                   cfg_.hostLinkLatency,
                                   cfg_.hostLinkDepth);
+
+        // Per-pair links. DDR shard <-> host keeps the quantum-derived
+        // bound but gains the port's in-flight promise; a split
+        // channel's DDR <-> media pair syncs on the far looser
+        // µs-scale media command latency, with the media side
+        // promising quiet whenever no posted page op is outstanding.
+        for (std::uint32_t i = 0; i < cfg_.channels; ++i) {
+            coord_->setLink(i, ShardCoordinator::kToHost, quantum,
+                            hostPort_->lookaheadFn(i));
+            if (!media_split)
+                continue;
+            const std::uint32_t m = cfg_.channels + i;
+            nvm::MediaPort* mp = channels_[i]->mediaPort();
+            coord_->setLink(i, static_cast<std::int32_t>(m),
+                            cfg_.mediaLinkLatency);
+            coord_->setLink(m, static_cast<std::int32_t>(i),
+                            cfg_.mediaLinkLatency, mp->lookaheadFn());
+            mp->enableSharding(*coord_, *shardQueues_[i],
+                               *shardQueues_[m], i, m,
+                               cfg_.mediaLinkLatency);
+        }
     }
 }
 
@@ -180,9 +216,17 @@ NvdimmcSystem::registerStats(StatRegistry& reg) const
     if (coord_) {
         // Export metadata only (JSON "_meta"): text dumps must stay
         // byte-identical across executor counts.
+        const bool media_split = channels_[0]->mediaPort() != nullptr;
         reg.setMeta("threads", coord_->executors());
+        reg.setMeta("shards",
+                    static_cast<double>(coord_->shardCount()));
+        reg.setMeta("executors", coord_->executors());
+        reg.setMeta("media_shards", media_split ? 1.0 : 0.0);
         reg.setMeta("quantum_ticks",
                     static_cast<double>(coord_->quantum()));
+        if (media_split)
+            reg.setMeta("media_quantum_ticks",
+                        static_cast<double>(cfg_.mediaLinkLatency));
     }
 
     if (channels_.size() == 1) {

@@ -82,6 +82,18 @@ struct SystemConfig
      *  bound. Must not exceed the bound — construction panics, the
      *  quantum-checker regression. 0 = auto. */
     Tick quantumOverride = 0;
+    /** Split each Z-NAND channel's FTL + media into its own event
+     *  shard behind a firmware<->media mailbox seam, lifting the
+     *  shard-count ceiling from channels to 2 x channels. Sharded
+     *  ZNand systems only; other media kinds (and threads = 0) ignore
+     *  it. */
+    bool mediaShards = true;
+    /** Modeled firmware<->flash-controller command latency: the
+     *  firmware<->media links' lookahead, and the minimum lead every
+     *  page op and completion crossing the seam carries. µs-scale
+     *  (NVMe-style command issue), so the media pair's window bound is
+     *  far looser than the host link's. */
+    Tick mediaLinkLatency = 1 * kUs;
     /** @} */
 
     /** @name DRAM cache DIMM. */

@@ -48,6 +48,21 @@ HostPort::enableSharding(ShardCoordinator& coord, EventQueue& host_eq,
     }
 }
 
+ShardCoordinator::Promise
+HostPort::lookaheadFn(std::uint32_t ch)
+{
+    // postedMsgs is written on the host shard at op-post time,
+    // completedMsgs on the channel shard at message-post time; the
+    // coordinator reads both between rounds, after the barrier that
+    // ordered the writes. Equal counts mean every owed credit and
+    // completion is already in the mailbox, and the channel never
+    // emits host-bound messages spontaneously.
+    return [this, ch]() -> Tick {
+        const auto& st = shardStates_[ch];
+        return st.postedMsgs == st.completedMsgs ? kTickNever : 0;
+    };
+}
+
 imc::Callback
 HostPort::wrapDone(std::uint32_t ch, Callback done)
 {
@@ -58,6 +73,8 @@ HostPort::wrapDone(std::uint32_t ch, Callback done)
     // deterministic mailbox merge.
     EventQueue* ceq = shardStates_[ch].eq;
     return [this, ch, ceq, done = std::move(done)] {
+        auto& st = shardStates_[ch];
+        ++st.completedMsgs;
         coord_->postToHost(ch, ceq->now() + linkLatency_, done);
     };
 }
@@ -107,6 +124,7 @@ HostPort::pump(std::uint32_t ch)
         st.fifo.pop_front();
         // The iMC took the op: its link credit travels back to the
         // host, which may wake a parked whenSpace() waiter.
+        ++st.completedMsgs;
         coord_->postToHost(ch, st.eq->now() + linkLatency_,
                            [this, ch] { returnCredit(ch); });
     }
@@ -138,6 +156,8 @@ HostPort::readLine(Addr flat, std::uint8_t* buf, Callback done)
     if (st.credits == 0)
         return false;
     --st.credits;
+    // The op owes one credit back, plus a completion if asked for.
+    st.postedMsgs += done ? 2 : 1;
     PendingOp op;
     op.isWrite = false;
     op.local = t.local;
@@ -158,6 +178,7 @@ HostPort::writeLine(Addr flat, const std::uint8_t* data, Callback done)
     if (st.credits == 0)
         return false;
     --st.credits;
+    st.postedMsgs += done ? 2 : 1;
     PendingOp op;
     op.isWrite = true;
     op.local = t.local;
@@ -235,6 +256,7 @@ HostPort::bulkTransfer(Addr flat, std::uint32_t bytes, bool is_write,
         // Sharded: the slice request crosses the link to its channel;
         // each completion crosses back via wrapDone, so the countdown
         // (and `done`) only ever run on the host shard.
+        ++shardStates_[ch].postedMsgs;
         coord_->postToShard(
             ch, hostEq_->now() + linkLatency_,
             [this, ch, b = per_channel[ch], is_write, slice_done] {

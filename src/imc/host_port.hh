@@ -34,13 +34,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/shard.hh"
 #include "dram/channel_interleave.hh"
 #include "imc/imc.hh"
-
-namespace nvdimmc
-{
-class ShardCoordinator;
-}
 
 namespace nvdimmc::imc
 {
@@ -114,6 +110,16 @@ class HostPort
     /** Is sharded routing enabled? */
     bool sharded() const { return coord_ != nullptr; }
 
+    /**
+     * The channel->host link's adaptive-lookahead promise: kTickNever
+     * while channel @p ch provably has nothing host-bound in flight —
+     * every posted line op and bulk slice has already pushed its
+     * credit and completion into the mailbox, and the channel never
+     * emits to the host spontaneously (CP acks are read by host
+     * polling). Queried between rounds on the coordinating thread.
+     */
+    ShardCoordinator::Promise lookaheadFn(std::uint32_t ch);
+
   private:
     /** One deferred line op queued channel-side in sharded mode. */
     struct PendingOp
@@ -139,6 +145,10 @@ class HostPort
         /** @{ */
         std::uint32_t credits = 0;
         std::vector<Callback> spaceWaiters;
+        /** Host-bound messages this channel owes (credits +
+         *  completions), counted when their trigger op posts; promise
+         *  input. */
+        std::uint64_t postedMsgs = 0;
         /** @} */
 
         /** @name Channel-side. */
@@ -146,6 +156,10 @@ class HostPort
         EventQueue* eq = nullptr;
         std::deque<PendingOp> fifo;
         bool waiting = false; ///< A whenSpace() retry is pending.
+        /** Host-bound messages actually pushed into the mailbox;
+         *  equal to postedMsgs exactly when the link is provably
+         *  quiet. */
+        std::uint64_t completedMsgs = 0;
         /** @} */
     };
 

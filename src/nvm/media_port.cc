@@ -1,0 +1,98 @@
+#include "nvm/media_port.hh"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::nvm
+{
+
+void
+MediaPort::enableSharding(ShardCoordinator& coord, EventQueue& ddr_eq,
+                          EventQueue& media_eq, std::uint32_t ddr_shard,
+                          std::uint32_t media_shard, Tick link_latency)
+{
+    NVDC_ASSERT(link_latency > 0,
+                "media link latency must be positive (it is the "
+                "firmware <-> media lookahead)");
+    NVDC_ASSERT(ddr_shard != media_shard,
+                "media seam needs two distinct shards");
+    coord_ = &coord;
+    ddrEq_ = &ddr_eq;
+    mediaEq_ = &media_eq;
+    ddrShard_ = ddr_shard;
+    mediaShard_ = media_shard;
+    linkLatency_ = link_latency;
+}
+
+ShardCoordinator::Promise
+MediaPort::lookaheadFn()
+{
+    // posted_ is written on the DDR shard at op-post time, completed_
+    // on the media shard at completion-post time; the coordinator reads
+    // both between rounds, after the barrier that ordered the writes.
+    // Equal counts mean every posted op has already pushed its
+    // completion into the mailbox: whatever else the media shard still
+    // has queued is FTL-internal (GC, erase) and never crosses back.
+    return [this]() -> Tick {
+        return posted_ == completed_ ? kTickNever : 0;
+    };
+}
+
+Callback
+MediaPort::wrapDone(Callback done)
+{
+    if (!done)
+        return {};
+    return [this, done = std::move(done)]() mutable {
+        ++completed_;
+        coord_->postToPeer(mediaShard_, ddrShard_,
+                           mediaEq_->now() + linkLatency_,
+                           std::move(done));
+    };
+}
+
+void
+MediaPort::readPage(std::uint64_t page_no, std::uint8_t* buf,
+                    Callback done, span::Id span)
+{
+    if (!coord_ || !coord_->inRound()) {
+        inner_.readPage(page_no, buf, std::move(done), span);
+        return;
+    }
+    if (done)
+        ++posted_;
+    coord_->postToPeer(
+        ddrShard_, mediaShard_, ddrEq_->now() + linkLatency_,
+        [this, page_no, buf, done = std::move(done), span]() mutable {
+            inner_.readPage(page_no, buf, wrapDone(std::move(done)),
+                            span);
+        });
+}
+
+void
+MediaPort::writePage(std::uint64_t page_no, const std::uint8_t* data,
+                     Callback done, span::Id span)
+{
+    if (!coord_ || !coord_->inRound()) {
+        inner_.writePage(page_no, data, std::move(done), span);
+        return;
+    }
+    if (done)
+        ++posted_;
+    // The FTL copies page data at writePage() time in the serial
+    // model; crossing the seam defers the call by the link latency, so
+    // snapshot the payload now to keep write-after-write contents
+    // identical to the serial interleaving.
+    std::vector<std::uint8_t> copy(data, data + kPageBytes);
+    coord_->postToPeer(
+        ddrShard_, mediaShard_, ddrEq_->now() + linkLatency_,
+        [this, page_no, copy = std::move(copy),
+         done = std::move(done), span]() mutable {
+            inner_.writePage(page_no, copy.data(),
+                             wrapDone(std::move(done)), span);
+        });
+}
+
+} // namespace nvdimmc::nvm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Firmware <-> media shard seam.
+ *
+ * In media-sharded mode each channel's FTL + Z-NAND simulate on their
+ * own event queue (the media shard), decoupled from the DDR-side shard
+ * (iMC, bus, DRAM, NVMC controller + firmware). MediaPort is the
+ * PageBackend the firmware talks to: serial and non-split systems
+ * forward straight to the real backend — same call sequence, same
+ * ticks — while a sharded system turns every readPage/writePage into a
+ * mailbox message to the media shard stamped one media command latency
+ * ahead, with the completion crossing back the same way. The modeled
+ * latency is the NVMe-style command issue path between the A53
+ * firmware and the flash controller; because NAND service times are
+ * µs-scale, this link's lookahead dwarfs the host-link quantum and the
+ * pair barely ever bounds the sync window.
+ *
+ * The port also carries the pair's adaptive-lookahead promise: it
+ * counts ops posted across the seam (DDR side) against completions
+ * posted back (media side). When the counts match, the media shard
+ * provably cannot emit anything — FTL-internal work (GC relocation,
+ * erases, wear leveling) never crosses the seam — so the promise
+ * returns kTickNever and the coordinator may run the neighbours far
+ * past the static bound. Both counters are single-writer and only read
+ * between rounds on the coordinating thread; the round barrier is all
+ * the synchronization they need.
+ *
+ * Pre-run preconditioning and the post-mortem power-fail dump call the
+ * backend outside any sync window; those forward directly (the backend
+ * commits page data at call time, so post-mortem writes land even
+ * though no more events run).
+ */
+
+#ifndef NVDIMMC_NVM_MEDIA_PORT_HH
+#define NVDIMMC_NVM_MEDIA_PORT_HH
+
+#include <cstdint>
+
+#include "common/event_queue.hh"
+#include "common/shard.hh"
+#include "nvm/nvm_media.hh"
+
+namespace nvdimmc::nvm
+{
+
+/** The firmware-side proxy for a (possibly shard-split) PageBackend. */
+class MediaPort : public PageBackend
+{
+  public:
+    explicit MediaPort(PageBackend& inner) : inner_(inner) {}
+
+    /**
+     * Route page ops across the shard seam: calls made during a sync
+     * window post to @p media_shard's queue stamped @p link_latency
+     * past the DDR shard's clock, and completions post back the same
+     * way. @p ddr_shard / @p media_shard are coordinator shard
+     * indices. Must be called before any traffic.
+     */
+    void enableSharding(ShardCoordinator& coord, EventQueue& ddr_eq,
+                        EventQueue& media_eq, std::uint32_t ddr_shard,
+                        std::uint32_t media_shard, Tick link_latency);
+
+    /** Is the seam split across shards? */
+    bool sharded() const { return coord_ != nullptr; }
+
+    /** The media -> DDR link's adaptive-lookahead promise: kTickNever
+     *  while no posted op awaits its completion. */
+    ShardCoordinator::Promise lookaheadFn();
+
+    std::uint64_t pageCount() const override
+    {
+        return inner_.pageCount();
+    }
+
+    void readPage(std::uint64_t page_no, std::uint8_t* buf,
+                  Callback done, span::Id span = 0) override;
+
+    void writePage(std::uint64_t page_no, const std::uint8_t* data,
+                   Callback done, span::Id span = 0) override;
+
+  private:
+    /** Redirect a media-side completion back to the DDR shard. */
+    Callback wrapDone(Callback done);
+
+    PageBackend& inner_;
+
+    ShardCoordinator* coord_ = nullptr;
+    EventQueue* ddrEq_ = nullptr;
+    EventQueue* mediaEq_ = nullptr;
+    std::uint32_t ddrShard_ = 0;
+    std::uint32_t mediaShard_ = 0;
+    Tick linkLatency_ = 0;
+
+    /** @name Promise inputs (in-flight = posted - completed). */
+    /** @{ */
+    /** Ops posted across the seam; DDR-shard writer only. */
+    std::uint64_t posted_ = 0;
+    /** Completions posted back; media-shard writer only. */
+    std::uint64_t completed_ = 0;
+    /** @} */
+};
+
+} // namespace nvdimmc::nvm
+
+#endif // NVDIMMC_NVM_MEDIA_PORT_HH

@@ -81,6 +81,122 @@ TEST(RunWindow, PeekSkipsCancelledEvents)
 }
 
 // ---------------------------------------------------------------------
+// Staged-batch admission (the batched mailbox-delivery lane).
+
+TEST(ScheduleBatch, EmptyBatchIsANoOpAndWindowStillAdvances)
+{
+    EventQueue eq;
+    std::vector<EventQueue::TimedCallback> batch;
+    eq.scheduleBatch(batch);
+    EXPECT_EQ(eq.peekNextTick(), kTickNever);
+    eq.runWindow(500); // Empty window: pure clock advance.
+    EXPECT_EQ(eq.now(), Tick{500});
+}
+
+TEST(ScheduleBatch, RespectsTheExclusiveWindowEdge)
+{
+    EventQueue eq;
+    std::vector<int> fired;
+    std::vector<EventQueue::TimedCallback> batch;
+    batch.push_back({Tick{99}, [&] { fired.push_back(99); }, 0});
+    batch.push_back({Tick{100}, [&] { fired.push_back(100); }, 0});
+    eq.scheduleBatch(batch);
+    // A staged event exactly on the boundary belongs to the next
+    // window, same as a heap event.
+    eq.runWindow(100);
+    EXPECT_EQ(fired, (std::vector<int>{99}));
+    EXPECT_EQ(eq.now(), Tick{100});
+    eq.runWindow(101);
+    EXPECT_EQ(fired, (std::vector<int>{99, 100}));
+}
+
+TEST(ScheduleBatch, MergesWithHeapInScheduleOrderAtSameTick)
+{
+    EventQueue eq;
+    std::vector<std::string> fired;
+    eq.schedule(Tick{50}, [&] { fired.push_back("heap-first"); });
+    std::vector<EventQueue::TimedCallback> batch;
+    batch.push_back({Tick{40}, [&] { fired.push_back("batch40"); }, 0});
+    batch.push_back({Tick{50}, [&] { fired.push_back("batch50"); }, 0});
+    eq.scheduleBatch(batch);
+    eq.schedule(Tick{50}, [&] { fired.push_back("heap-last"); });
+    eq.schedule(Tick{30}, [&] { fired.push_back("heap30"); });
+    eq.runAll();
+    // Ticks ascend; within a tick, global schedule order (heap or
+    // staged) wins — exactly what per-message scheduling produced.
+    EXPECT_EQ(fired, (std::vector<std::string>{"heap30", "batch40",
+                                               "heap-first", "batch50",
+                                               "heap-last"}));
+}
+
+TEST(ScheduleBatch, KeepsPostOrderWithinATickAndAcrossBatches)
+{
+    EventQueue eq;
+    std::vector<int> fired;
+    std::vector<EventQueue::TimedCallback> a, b;
+    a.push_back({Tick{10}, [&] { fired.push_back(1); }, 0});
+    a.push_back({Tick{10}, [&] { fired.push_back(2); }, 0});
+    b.push_back({Tick{10}, [&] { fired.push_back(3); }, 0});
+    b.push_back({Tick{20}, [&] { fired.push_back(4); }, 0});
+    eq.scheduleBatch(a);
+    eq.scheduleBatch(b);
+    eq.runAll();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(ScheduleBatch, ReentrantBatchFromAStagedCallbackIsSafe)
+{
+    EventQueue eq;
+    std::vector<int> fired;
+    std::vector<EventQueue::TimedCallback> outer;
+    outer.push_back({Tick{10}, [&] {
+        fired.push_back(1);
+        // Re-enter scheduleBatch from inside a staged callback; the
+        // queue must survive its stage vector mutating under it.
+        std::vector<EventQueue::TimedCallback> inner;
+        inner.push_back({Tick{15}, [&] { fired.push_back(2); }, 0});
+        eq.scheduleBatch(inner);
+    }, 0});
+    outer.push_back({Tick{20}, [&] { fired.push_back(3); }, 0});
+    eq.scheduleBatch(outer);
+    eq.runAll();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ScheduleBatch, RecyclesTheDeliveryBuffer)
+{
+    EventQueue eq;
+    std::vector<EventQueue::TimedCallback> batch;
+    batch.reserve(64);
+    batch.push_back({Tick{10}, [] {}, 0});
+    eq.scheduleBatch(batch);
+    // The queue takes the storage and hands back an empty buffer the
+    // caller can refill (possibly a recycled one from an earlier,
+    // already-drained batch).
+    EXPECT_TRUE(batch.empty());
+    eq.runAll();
+    batch.push_back({Tick{20}, [] {}, 0});
+    eq.scheduleBatch(batch);
+    eq.runAll();
+    EXPECT_EQ(eq.now(), Tick{20});
+}
+
+TEST(ScheduleBatch, RejectsPastStampsAndUnsortedBatches)
+{
+    EventQueue eq;
+    eq.schedule(Tick{100}, [] {});
+    eq.runAll();
+    ASSERT_EQ(eq.now(), Tick{100});
+    std::vector<EventQueue::TimedCallback> past;
+    past.push_back({Tick{50}, [] {}, 0});
+    EXPECT_THROW(eq.scheduleBatch(past), PanicError);
+    std::vector<EventQueue::TimedCallback> unsorted;
+    unsorted.push_back({Tick{300}, [] {}, 0});
+    unsorted.push_back({Tick{200}, [] {}, 0});
+    EXPECT_THROW(eq.scheduleBatch(unsorted), PanicError);
+}
+
+// ---------------------------------------------------------------------
 // ShardCoordinator mechanics.
 
 /** Fixture pieces: a host queue and two shard queues under a
@@ -176,6 +292,70 @@ TEST(ShardCoordinator, ShardExceptionPropagatesAndStaysRunnable)
 }
 
 // ---------------------------------------------------------------------
+// Adaptive lookahead (per-link promises).
+
+TEST(Lookahead, QuietPromiseCollapsesWindowsToOne)
+{
+    CoordRig rig(1);
+    // Shard 0 runs internal-only events spread far wider than the
+    // quantum; its link honestly promises nothing is in flight.
+    std::vector<Tick> fired;
+    for (Tick t : {Tick{10}, Tick{300}, Tick{600}, Tick{900}})
+        rig.s0.schedule(t, [&, t] { fired.push_back(t); });
+    rig.coord.setLink(0, ShardCoordinator::kToHost, 100,
+                      [] { return kTickNever; });
+    rig.host.runUntil(1000);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 300, 600, 900}));
+    // Without the promise this takes one window per event cluster;
+    // with it the round runs straight to the target.
+    EXPECT_EQ(rig.coord.windows(), 1u);
+}
+
+TEST(Lookahead, StaticQuantumNeedsAWindowPerCluster)
+{
+    // Control for the test above: same event pattern, no promise.
+    CoordRig rig(1);
+    std::vector<Tick> fired;
+    for (Tick t : {Tick{10}, Tick{300}, Tick{600}, Tick{900}})
+        rig.s0.schedule(t, [&, t] { fired.push_back(t); });
+    rig.host.runUntil(1000);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 300, 600, 900}));
+    EXPECT_EQ(rig.coord.windows(), 4u);
+}
+
+TEST(Lookahead, FinitePromiseRaisesTheBoundOnly)
+{
+    // A promise of "nothing before tick 450" widens early windows but
+    // never shrinks the static peek+latency bound (max, not replace).
+    CoordRig rig(1);
+    std::vector<Tick> fired;
+    for (Tick t : {Tick{10}, Tick{300}, Tick{600}, Tick{900}})
+        rig.s0.schedule(t, [&, t] { fired.push_back(t); });
+    rig.coord.setLink(0, ShardCoordinator::kToHost, 100,
+                      [] { return Tick{450}; });
+    rig.host.runUntil(1000);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 300, 600, 900}));
+    // Window 1 ends at 450 (fires 10 and 300), then 600+100, then
+    // 900+100 capped at the target: three windows, not four.
+    EXPECT_EQ(rig.coord.windows(), 3u);
+}
+
+TEST(Lookahead, UnsoundPromiseTripsTheCheckerMidWindow)
+{
+    // The link claims it is quiet forever, but the shard emits a
+    // message anyway. The extended window must not silently corrupt
+    // time: the conservative runtime checker catches the stamp landing
+    // inside the in-flight window.
+    CoordRig rig(1);
+    rig.coord.setLink(0, ShardCoordinator::kToHost, 100,
+                      [] { return kTickNever; });
+    rig.s0.schedule(Tick{10}, [&] {
+        rig.coord.postToHost(0, rig.s0.now() + 100, [] {});
+    });
+    EXPECT_THROW(rig.host.runUntil(1000), PanicError);
+}
+
+// ---------------------------------------------------------------------
 // Quantum properties.
 
 TEST(QuantumBound, NeverExceedsAnyLatencyTerm)
@@ -202,12 +382,14 @@ TEST(QuantumBound, NeverExceedsAnyLatencyTerm)
 /** One short sharded fio run; returns the full text stats dump. */
 std::string
 shardedRun(std::uint32_t channels, std::uint32_t threads,
-           Tick quantum_override = 0, const char* trace_path = nullptr)
+           Tick quantum_override = 0, const char* trace_path = nullptr,
+           bool media_shards = true)
 {
     core::SystemConfig cfg = core::SystemConfig::scaledTest();
     cfg.channels = channels;
     cfg.threads = threads;
     cfg.quantumOverride = quantum_override;
+    cfg.mediaShards = media_shards;
     core::NvdimmcSystem sys(cfg);
     const std::uint32_t slots = sys.totalSlotCount();
     const std::uint32_t pages = slots - 64 * channels;
@@ -262,6 +444,26 @@ TEST(ParallelDeterminism, SingleChannelSharded)
     EXPECT_EQ(shardedRun(1, 1), shardedRun(1, 4));
 }
 
+TEST(ParallelDeterminism, MediaShardsWithThreadsBeyondChannels)
+{
+    // With the media split a 2-channel machine has 4 shards, so
+    // thread counts above the channel count are meaningful executor
+    // counts, not clamps. Results must stay byte-identical right
+    // through that regime (and past the shard count).
+    std::string t1 = shardedRun(2, 1);
+    EXPECT_EQ(t1, shardedRun(2, 3));
+    EXPECT_EQ(t1, shardedRun(2, 4));
+    EXPECT_EQ(t1, shardedRun(2, 8));
+}
+
+TEST(ParallelDeterminism, MediaSplitOffIsStillDeterministic)
+{
+    // The classic shard-per-channel topology stays available behind
+    // cfg.mediaShards and keeps its own determinism guarantee.
+    EXPECT_EQ(shardedRun(2, 1, 0, nullptr, false),
+              shardedRun(2, 4, 0, nullptr, false));
+}
+
 TEST(QuantumShrink, NeverChangesResults)
 {
     core::SystemConfig cfg = core::SystemConfig::scaledTest();
@@ -298,8 +500,29 @@ TEST(StatsMeta, ShardedJsonCarriesMetaTextDoesNot)
     EXPECT_NE(json.str().find("\"_meta\":{\"threads\":"),
               std::string::npos);
     EXPECT_NE(json.str().find("\"quantum_ticks\":"), std::string::npos);
+    // Z-NAND media split: 2 channels -> 4 shards, and the media pair's
+    // own quantum is reported alongside the DDR one.
+    EXPECT_NE(json.str().find("\"shards\":4"), std::string::npos);
+    EXPECT_NE(json.str().find("\"media_shards\":1"), std::string::npos);
+    EXPECT_NE(json.str().find("\"media_quantum_ticks\":"),
+              std::string::npos);
     EXPECT_EQ(text.str().find("_meta"), std::string::npos);
     EXPECT_EQ(text.str().find("threads"), std::string::npos);
+}
+
+TEST(StatsMeta, MediaSplitOffReportsChannelShards)
+{
+    core::SystemConfig cfg = core::SystemConfig::scaledTest();
+    cfg.channels = 2;
+    cfg.threads = 2;
+    cfg.mediaShards = false;
+    core::NvdimmcSystem sys(cfg);
+    std::ostringstream json;
+    sys.dumpStatsJson(json);
+    EXPECT_NE(json.str().find("\"shards\":2"), std::string::npos);
+    EXPECT_NE(json.str().find("\"media_shards\":0"), std::string::npos);
+    EXPECT_EQ(json.str().find("media_quantum_ticks"),
+              std::string::npos);
 }
 
 TEST(StatsMeta, ClassicJsonHasNoMeta)
