@@ -42,6 +42,7 @@
 #include "bench_systems.hh"
 #include "driver/dram_cache.hh"
 #include "driver/nvdimmf_driver.hh"
+#include "fault/campaign.hh"
 #include "ftl/ftl.hh"
 #include "workload/tpch.hh"
 
@@ -662,6 +663,129 @@ makeLatencySweep()
 }
 
 /**
+ * One power-fail sweep point: cut at @p frac of the uncut run, replay
+ * recovery, and prove the whole campaign byte-identical across
+ * executor counts. Integrity (corrupt=0 with ADR) and determinism
+ * both land in the verified metrics.
+ */
+PointResult
+runPowerFailPoint(double frac, bool adr)
+{
+    fault::PowerFailCampaignConfig cfg;
+    cfg.seed = 29;
+    cfg.adrWorks = adr;
+    fault::PowerFailCampaignResult full = runPowerFailCampaign(cfg);
+    cfg.haltAtTick = static_cast<Tick>(
+        static_cast<double>(full.workloadElapsed) * frac);
+    cfg.threads = 1;
+    fault::PowerFailCampaignResult t1 = runPowerFailCampaign(cfg);
+    cfg.threads = 2;
+    fault::PowerFailCampaignResult t2 = runPowerFailCampaign(cfg);
+    bool identical = t1.fingerprint == t2.fingerprint;
+
+    PointResult out;
+    out.metrics = {
+        {"committed", static_cast<double>(t1.committedRecords)},
+        {"corrupt", static_cast<double>(t1.corruptRecords)},
+        {"pages_dumped", static_cast<double>(t1.pagesDumped)},
+        {"wpq_lost", static_cast<double>(t1.wpqLost)},
+        {"recovery_us", ticksToUs(t1.recoveryTicks)},
+        {"threads_identical", identical ? 1.0 : 0.0},
+    };
+    if (!identical)
+        out.error = "campaign diverged across --threads";
+    else if (adr && t1.corruptRecords != 0)
+        out.error = "committed records corrupted despite ADR";
+    return out;
+}
+
+PointResult
+mediaPoint(const fault::MediaFaultCampaignResult& res)
+{
+    PointResult out;
+    out.metrics = {
+        {"reads", static_cast<double>(res.reads)},
+        {"read_errors", static_cast<double>(res.readErrorsInjected)},
+        {"read_retries", static_cast<double>(res.readRetries)},
+        {"retry_successes",
+         static_cast<double>(res.readRetrySuccesses)},
+        {"uncorrectable", static_cast<double>(res.uncorrectableReads)},
+        {"grown_bad_blocks", static_cast<double>(res.grownBadBlocks)},
+        {"gc_relocations", static_cast<double>(res.gcRelocations)},
+        {"silent_corruptions",
+         static_cast<double>(res.silentCorruptions)},
+        {"invariants_ok", res.invariantsOk ? 1.0 : 0.0},
+    };
+    if (res.silentCorruptions != 0)
+        out.error = "silent corruption (mismatch without an "
+                    "uncorrectable-read report)";
+    else if (!res.invariantsOk)
+        out.error = "FTL invariants violated: " + res.invariantWhy;
+    return out;
+}
+
+Sweep
+makeFaultsSweep()
+{
+    Sweep sweep{"faults", {}};
+    auto& p = sweep.points;
+    p.push_back({"powerfail/early",
+                 [] { return runPowerFailPoint(0.25, true); }});
+    p.push_back({"powerfail/mid",
+                 [] { return runPowerFailPoint(0.5, true); }});
+    p.push_back({"powerfail/late",
+                 [] { return runPowerFailPoint(0.8, true); }});
+    p.push_back({"powerfail/noadr",
+                 [] { return runPowerFailPoint(0.5, false); }});
+    p.push_back({"media/ecc", [] {
+        fault::MediaFaultCampaignConfig cfg;
+        cfg.seed = 43;
+        cfg.faults.readRberMean = 0.9;
+        cfg.faults.wearRberSlope = 0.03;
+        cfg.readRetries = 2;
+        return mediaPoint(runMediaFaultCampaign(cfg));
+    }});
+    p.push_back({"media/program_fail", [] {
+        fault::MediaFaultCampaignConfig cfg;
+        cfg.seed = 47;
+        cfg.faults.programFailProb = 0.01;
+        cfg.ops = 2500;
+        return mediaPoint(runMediaFaultCampaign(cfg));
+    }});
+    p.push_back({"ageing/small", [] {
+        fault::AgeingCampaignConfig cfg;
+        cfg.seed = 53;
+        cfg.rounds = 24;
+        cfg.writesPerRound = 96;
+        cfg.faults.readRberMean = 0.2;
+        cfg.faults.wearRberSlope = 0.02;
+        cfg.faults.programFailProb = 0.002;
+        fault::AgeingCampaignResult res = runAgeingCampaign(cfg);
+        PointResult out;
+        out.metrics = {
+            {"writes", static_cast<double>(res.writes)},
+            {"gc_erases", static_cast<double>(res.gcErases)},
+            {"gc_relocations",
+             static_cast<double>(res.gcRelocations)},
+            {"wear_spread", static_cast<double>(res.wearSpread)},
+            {"max_erase_count",
+             static_cast<double>(res.maxEraseCount)},
+            {"silent_corruptions",
+             static_cast<double>(res.silentCorruptions)},
+            {"invariants_ok", res.invariantsOk ? 1.0 : 0.0},
+            {"checkpoint_deterministic",
+             res.checkpointDeterministic ? 1.0 : 0.0},
+        };
+        if (!res.checkpointDeterministic)
+            out.error = "checkpoint-restored replay diverged";
+        else if (res.silentCorruptions != 0 || !res.invariantsOk)
+            out.error = "ageing campaign integrity failure";
+        return out;
+    }});
+    return sweep;
+}
+
+/**
  * Run every point of @p sweep on @p jobs worker threads. Points are
  * claimed from an atomic counter and results land in a slot indexed
  * by point, so the output order (and content) never depends on
@@ -790,7 +914,8 @@ sweepMain(int argc, char** argv)
             for (const Sweep& sweep :
                  {makeAblationSweep(), makeVariantsSweep(),
                   makeCachePolicySweep(), makeChannelsSweep(),
-                  makeParallelSweep(), makeLatencySweep()}) {
+                  makeParallelSweep(), makeLatencySweep(),
+                  makeFaultsSweep()}) {
                 for (const auto& point : sweep.points)
                     std::cout << sweep.name << "/" << point.name
                               << "\n";
@@ -800,7 +925,7 @@ sweepMain(int argc, char** argv)
             std::cout
                 << "usage: sweep_runner"
                    " [--sweep ablation|variants|cache_policy|channels"
-                   "|parallel|latency|all]\n"
+                   "|parallel|latency|faults|all]\n"
                    "                    [--jobs N] [--json FILE]"
                    " [--verify] [--list]\n";
             return 0;
@@ -830,6 +955,8 @@ sweepMain(int argc, char** argv)
         sweeps.push_back(makeParallelSweep());
     if (want("latency"))
         sweeps.push_back(makeLatencySweep());
+    if (want("faults"))
+        sweeps.push_back(makeFaultsSweep());
     if (sweeps.empty())
         fatal("no sweep matches ", wanted.front());
 

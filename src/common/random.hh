@@ -107,6 +107,18 @@ class Rng
         return idx >= n ? n - 1 : idx;
     }
 
+    /** @name Raw generator state (fault campaigns checkpoint it). */
+    /** @{ */
+    std::uint64_t rawState() const { return state_; }
+    std::uint64_t rawInc() const { return inc_; }
+    void
+    setRaw(std::uint64_t state, std::uint64_t inc)
+    {
+        state_ = state;
+        inc_ = inc;
+    }
+    /** @} */
+
   private:
     std::uint64_t state_;
     std::uint64_t inc_;

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Minimal byte-exact state serialization for device checkpoints.
+ *
+ * The fault-injection campaigns (src/fault) snapshot device state
+ * mid-run and restore it later — possibly into a freshly built device
+ * — so compressed-time ageing studies can run for simulated months
+ * without replaying from tick zero. Components implement
+ * saveState(ByteWriter&) / loadState(ByteReader&) pairs; the writer
+ * produces a deterministic little-endian byte stream (map contents are
+ * emitted in sorted key order by the callers) so two checkpoints of
+ * identical state compare equal byte-for-byte.
+ *
+ * Framing is deliberately primitive: every component opens with a
+ * 32-bit tag the reader asserts, which catches version or ordering
+ * mismatches immediately instead of silently misparsing.
+ */
+
+#ifndef NVDIMMC_COMMON_SERIALIZE_HH
+#define NVDIMMC_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace nvdimmc
+{
+
+/** Append-only little-endian byte stream. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    bytes(const void* p, std::size_t n)
+    {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    /** Section marker; the reader asserts it back. */
+    void tag(std::uint32_t t) { u32(t); }
+
+    const std::vector<std::uint8_t>& data() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Sequential reader over a ByteWriter stream. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<std::uint8_t>& buf)
+        : buf_(buf)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return buf_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t{buf_[pos_++]} << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t{buf_[pos_++]} << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    void
+    bytes(void* p, std::size_t n)
+    {
+        need(n);
+        std::memcpy(p, buf_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    void
+    expectTag(std::uint32_t t)
+    {
+        std::uint32_t got = u32();
+        if (got != t) {
+            fatal("checkpoint stream corrupt: expected tag ", t,
+                  ", found ", got, " at offset ", pos_ - 4);
+        }
+    }
+
+    std::size_t remaining() const { return buf_.size() - pos_; }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (buf_.size() - pos_ < n)
+            fatal("checkpoint stream truncated at offset ", pos_);
+    }
+
+    const std::vector<std::uint8_t>& buf_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace nvdimmc
+
+#endif // NVDIMMC_COMMON_SERIALIZE_HH

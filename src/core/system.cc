@@ -201,7 +201,9 @@ NvdimmcSystem::precondition(std::uint64_t first_page,
                 break;
             const auto& cs = cache.slot(s);
             nvmc::SlotMetadata m;
-            m.nandPage = cs.devPage;
+            // Module-local page, as the firmware's dump expects (it
+            // writes into its own module's backend).
+            m.nandPage = cs.devPage / channels_.size();
             m.valid = cs.state != driver::CacheSlot::State::Free;
             m.dirty = cs.dirty;
             nvmc::encodeSlotMetadata(m, line.data() + j * 16);

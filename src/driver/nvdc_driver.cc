@@ -518,9 +518,26 @@ NvdcDriver::faultPath(std::shared_ptr<Segment> seg)
                     cmd.nandPage = localPage(wb_page);
                     cmd.spanId = seg->span;
                     stats_.writebacks.inc();
-                    cpTransaction(ch, cmd, [this, wb_page, fill] {
+                    cpTransaction(ch, cmd,
+                                  [this, seg, ch, slot, wb_page,
+                                   fill] {
                         writebackCompleted(wb_page);
-                        fill();
+                        // The victim's bytes are durable (the module
+                        // acked the writeback), but the in-DRAM slot
+                        // metadata still says (victim page, dirty): a
+                        // power-fail dump taken between the
+                        // cachefill's DMA landing and install's
+                        // metadata write would flush the *incoming*
+                        // page's bytes onto the victim's NAND page.
+                        // Rewrite the line now — rebind() left the
+                        // slot (new page, clean) — so the dump skips
+                        // the slot until install marks it dirty.
+                        writeMetadata(ch, slot, [this, seg, fill] {
+                            span::phase(seg->span,
+                                        span::Phase::Metadata,
+                                        eq_.now());
+                            fill();
+                        });
                     });
                 } else {
                     fill();
@@ -669,7 +686,11 @@ NvdcDriver::writeMetadata(std::uint32_t channel, std::uint32_t slot,
             break;
         const CacheSlot& cs = cache.slot(s);
         nvmc::SlotMetadata m;
-        m.nandPage = cs.devPage;
+        // The firmware's power-fail dump feeds this page into its own
+        // module's backend: it must be the module-LOCAL page, exactly
+        // as CP commands carry it. Encoding the flat page here sent
+        // channel >= 1 victims to the wrong NAND page.
+        m.nandPage = localPage(cs.devPage);
         m.valid = cs.state != CacheSlot::State::Free;
         m.dirty = cs.dirty;
         nvmc::encodeSlotMetadata(m, line.data() + i * 16);

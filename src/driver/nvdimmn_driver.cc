@@ -1,5 +1,6 @@
 #include "driver/nvdimmn_driver.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.hh"
@@ -51,13 +52,30 @@ NvdimmNDriver::powerFailBackup()
 {
     const auto& map = dram_.addressMap();
     std::uint64_t pages = capacityBytes() / kPageBytes;
-    std::uint64_t budget =
-        cfg_.backupEnergyPages == 0 ? pages : cfg_.backupEnergyPages;
+    // Byte budget overrides the page budget; either one at 0 means
+    // "ideally sized caps", i.e. enough for a full dump. Every page
+    // is accounted for exactly once: saved, truncated (counted lost
+    // too, since its tail is gone), or lost outright.
+    std::uint64_t budget_bytes =
+        cfg_.backupEnergyBytes != 0 ? cfg_.backupEnergyBytes
+        : cfg_.backupEnergyPages != 0
+            ? cfg_.backupEnergyPages * std::uint64_t{kPageBytes}
+            : pages * std::uint64_t{kPageBytes};
+
+    // A real module erases the backup area before each save; without
+    // this, the second power cut in a device's life would program
+    // already-programmed pages (a NAND discipline violation that
+    // corrupts the previous image's remains).
+    std::uint64_t blocks =
+        (pages + nand_.params().pagesPerBlock - 1) /
+        nand_.params().pagesPerBlock;
+    for (std::uint64_t b = 0; b < blocks; ++b)
+        nand_.eraseBlock(b, [] {});
 
     std::vector<std::uint8_t> page(kPageBytes);
     std::uint64_t saved = 0;
     for (std::uint64_t p = 0; p < pages; ++p) {
-        if (saved >= budget) {
+        if (budget_bytes == 0) {
             stats_.pagesLostToEnergy.inc(pages - p);
             warn("NvdimmN: super-caps exhausted after ", saved,
                  " pages; ", pages - p, " pages lost");
@@ -67,11 +85,25 @@ NvdimmNDriver::powerFailBackup()
             dram_.readBurst(map.decompose(p * kPageBytes + off),
                             page.data() + off);
         }
+        if (budget_bytes < kPageBytes) {
+            // The caps die mid-page: the prefix that made it is
+            // written (torn), the tail reads back as erased flash.
+            std::fill(page.begin() +
+                          static_cast<std::ptrdiff_t>(budget_bytes),
+                      page.end(), 0xFF);
+            nand_.programPage(p, page.data(), [] {});
+            stats_.pagesTruncated.inc();
+            stats_.pagesLostToEnergy.inc(pages - p);
+            warn("NvdimmN: super-caps died mid-page after ", saved,
+                 " pages + ", budget_bytes, " bytes; ", pages - p,
+                 " pages lost (1 torn)");
+            break;
+        }
         // Post-mortem: commit straight into the NAND store. The raw
         // page image goes to the same page index (NVDIMM-N keeps a
-        // 1:1 layout; no FTL is needed for the sequential dump — a
-        // real module erases the backup area before each save).
+        // 1:1 layout; no FTL is needed for the sequential dump).
         nand_.programPage(p, page.data(), [] {});
+        budget_bytes -= kPageBytes;
         ++saved;
         stats_.pagesBackedUp.inc();
     }

@@ -34,6 +34,14 @@ struct NvdimmNConfig
      * everything (ideally sized caps).
      */
     std::uint64_t backupEnergyPages = 0;
+    /**
+     * Byte-granular energy budget; overrides backupEnergyPages when
+     * non-zero. A page needs the full kPageBytes of energy to be
+     * saved whole; a mid-page cut-off writes a torn page (the prefix
+     * that made it, 0xFF-filled tail) and counts it both as truncated
+     * and as lost.
+     */
+    std::uint64_t backupEnergyBytes = 0;
 };
 
 /** NVDIMM-N statistics. */
@@ -43,6 +51,7 @@ struct NvdimmNStats
     Counter writeOps;
     Counter pagesBackedUp;
     Counter pagesLostToEnergy;
+    Counter pagesTruncated;
     Counter pagesRestored;
 };
 

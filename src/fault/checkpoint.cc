@@ -1,0 +1,45 @@
+#include "fault/checkpoint.hh"
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace nvdimmc::fault
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x4e434b50; // "PKCN"
+constexpr std::uint32_t kVersion = 1;
+
+} // namespace
+
+std::vector<std::uint8_t>
+checkpointDevice(const nvm::ZNand& nand, const ftl::Ftl& ftl)
+{
+    ByteWriter w;
+    w.u32(kMagic);
+    w.u32(kVersion);
+    nand.saveState(w);
+    ftl.saveState(w);
+    return w.take();
+}
+
+void
+restoreDevice(const std::vector<std::uint8_t>& image,
+              nvm::ZNand& nand, ftl::Ftl& ftl)
+{
+    ByteReader r(image);
+    if (r.u32() != kMagic)
+        fatal("device checkpoint: bad magic");
+    std::uint32_t version = r.u32();
+    if (version != kVersion)
+        fatal("device checkpoint: unsupported version ", version);
+    nand.loadState(r);
+    ftl.loadState(r);
+    if (r.remaining() != 0)
+        fatal("device checkpoint: ", r.remaining(),
+              " trailing bytes (stream framing bug)");
+}
+
+} // namespace nvdimmc::fault

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Device-state checkpoint/restore for long fault campaigns.
+ *
+ * A checkpoint captures the persistent state of one media channel —
+ * ZNand page contents, block cursors, erase counts and bad blocks,
+ * plus the FTL's mapping, block metadata, free/active lists and
+ * bad-block set — framed with a magic + version header. It does NOT
+ * capture simulation-transient state (event queues, die busy times,
+ * in-flight ops), so checkpoints must be taken at a quiesced instant:
+ * event queue drained, no GC in flight, no pending writes. Restoring
+ * into a freshly built device of identical geometry resumes a
+ * compressed-time ageing campaign exactly where it stopped; two
+ * checkpoints of identical state compare equal byte-for-byte.
+ */
+
+#ifndef NVDIMMC_FAULT_CHECKPOINT_HH
+#define NVDIMMC_FAULT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ftl/ftl.hh"
+#include "nvm/znand.hh"
+
+namespace nvdimmc::fault
+{
+
+/** Snapshot one quiesced (nand, ftl) channel pair. */
+std::vector<std::uint8_t> checkpointDevice(const nvm::ZNand& nand,
+                                           const ftl::Ftl& ftl);
+
+/** Restore a snapshot into a same-geometry (nand, ftl) pair. */
+void restoreDevice(const std::vector<std::uint8_t>& image,
+                   nvm::ZNand& nand, ftl::Ftl& ftl);
+
+} // namespace nvdimmc::fault
+
+#endif // NVDIMMC_FAULT_CHECKPOINT_HH

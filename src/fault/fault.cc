@@ -1,0 +1,120 @@
+#include "fault/fault.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nvdimmc::fault
+{
+
+std::uint32_t
+MediaFaultInjector::samplePoisson(Rng& rng, double mean) const
+{
+    if (mean <= 0.0)
+        return 0;
+    // Inversion, as in ftl::Ecc: means stay small enough for the
+    // loop to terminate immediately in practice.
+    double l = std::exp(-mean);
+    std::uint32_t k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= rng.uniform();
+    } while (p > l && k < 100000);
+    return k - 1;
+}
+
+void
+MediaFaultInjector::attach(std::uint32_t channel, ftl::Ftl& ftl,
+                           nvm::ZNand& nand)
+{
+    if (channel >= hooks_.size())
+        hooks_.resize(channel + 1);
+    ChannelHooks& h = hooks_[channel];
+    NVDC_ASSERT(h.ftl == nullptr, "channel already attached");
+    h.ftl = &ftl;
+    h.nand = &nand;
+    h.rng = Rng(cfg_.seed, 0x464c5400ull + channel);
+
+    ftl.setReadErrorHook([this, channel](std::uint64_t ppn) {
+        ChannelHooks& ch = hooks_[channel];
+        double mean = cfg_.readRberMean +
+                      cfg_.wearRberSlope *
+                          ch.nand->eraseCount(
+                              ch.nand->flatBlockOfPage(ppn));
+        std::uint32_t errors = samplePoisson(ch.rng, mean);
+        if (errors > 0)
+            ch.readErrors += 1;
+        return errors;
+    });
+    nand.setProgramFaultHook([this, channel](std::uint64_t) {
+        ChannelHooks& ch = hooks_[channel];
+        bool inject = cfg_.programFailProb > 0.0 &&
+                      ch.rng.chance(cfg_.programFailProb);
+        if (inject)
+            ch.programFails += 1;
+        return inject;
+    });
+}
+
+std::uint64_t
+MediaFaultInjector::readErrorsInjected() const
+{
+    std::uint64_t sum = 0;
+    for (const ChannelHooks& h : hooks_)
+        sum += h.readErrors;
+    return sum;
+}
+
+std::uint64_t
+MediaFaultInjector::programFailsInjected() const
+{
+    std::uint64_t sum = 0;
+    for (const ChannelHooks& h : hooks_)
+        sum += h.programFails;
+    return sum;
+}
+
+void
+MediaFaultInjector::detachAll()
+{
+    for (ChannelHooks& h : hooks_) {
+        if (h.ftl)
+            h.ftl->setReadErrorHook(nullptr);
+        if (h.nand)
+            h.nand->setProgramFaultHook(nullptr);
+        h.ftl = nullptr;
+        h.nand = nullptr;
+    }
+}
+
+void
+MediaFaultInjector::saveState(ByteWriter& w) const
+{
+    w.tag(0x314a4e49); // "INJ1"
+    w.u64(hooks_.size());
+    for (const ChannelHooks& h : hooks_) {
+        w.u64(h.rng.rawState());
+        w.u64(h.rng.rawInc());
+        w.u64(h.readErrors);
+        w.u64(h.programFails);
+    }
+}
+
+void
+MediaFaultInjector::loadState(ByteReader& r)
+{
+    r.expectTag(0x314a4e49);
+    std::uint64_t n = r.u64();
+    if (n != hooks_.size())
+        fatal("MediaFaultInjector checkpoint channel-count mismatch");
+    for (ChannelHooks& h : hooks_) {
+        std::uint64_t state = r.u64();
+        std::uint64_t inc = r.u64();
+        h.rng.setRaw(state, inc);
+        h.readErrors = r.u64();
+        h.programFails = r.u64();
+    }
+}
+
+} // namespace nvdimmc::fault

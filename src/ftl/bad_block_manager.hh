@@ -8,9 +8,12 @@
 #ifndef NVDIMMC_FTL_BAD_BLOCK_MANAGER_HH
 #define NVDIMMC_FTL_BAD_BLOCK_MANAGER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
+#include "common/serialize.hh"
 #include "nvm/znand.hh"
 
 namespace nvdimmc::ftl
@@ -38,6 +41,30 @@ class BadBlockManager
     void retire(std::uint64_t block_no) { bad_.insert(block_no); }
 
     std::size_t badCount() const { return bad_.size(); }
+
+    /** @name Checkpointing (fault campaigns). */
+    /** @{ */
+    void
+    saveState(ByteWriter& w) const
+    {
+        w.tag(0x314d4242); // "BBM1"
+        std::vector<std::uint64_t> sorted(bad_.begin(), bad_.end());
+        std::sort(sorted.begin(), sorted.end());
+        w.u64(sorted.size());
+        for (std::uint64_t b : sorted)
+            w.u64(b);
+    }
+
+    void
+    loadState(ByteReader& r)
+    {
+        r.expectTag(0x314d4242);
+        bad_.clear();
+        std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            bad_.insert(r.u64());
+    }
+    /** @} */
 
   private:
     std::unordered_set<std::uint64_t> bad_;

@@ -56,8 +56,16 @@ class Ecc
             ++k;
             p *= rng_.uniform();
         } while (p > l && k < 100000);
-        std::uint32_t errors = k - 1;
+        return decodeInjected(k - 1);
+    }
 
+    /**
+     * Decode with an externally chosen raw error count (fault
+     * campaigns sample wear-dependent rates themselves).
+     */
+    EccResult
+    decodeInjected(std::uint32_t errors)
+    {
         EccResult r;
         r.bitErrors = errors;
         r.correctable = errors <= params_.correctableBits;

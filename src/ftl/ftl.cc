@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 
 #include "common/logging.hh"
 
@@ -180,10 +181,40 @@ Ftl::readPage(std::uint64_t page_no, std::uint8_t* buf,
         eq_.scheduleAfter(kUnmappedReadLatency, std::move(done));
         return;
     }
-    nand_.readPage(ppn, buf, [this, cb = std::move(done)] {
-        EccResult r = ecc_.decode();
-        if (!r.correctable)
+    readAttempt(ppn, buf, 0, std::move(done), span);
+}
+
+void
+Ftl::readAttempt(std::uint64_t ppn, std::uint8_t* buf,
+                 std::uint32_t attempt, nvm::Callback done,
+                 span::Id span)
+{
+    nand_.readPage(ppn, buf,
+                   [this, ppn, buf, attempt,
+                    cb = std::move(done), span]() mutable {
+        EccResult r = readErrorHook_
+                          ? ecc_.decodeInjected(readErrorHook_(ppn))
+                          : ecc_.decode();
+        if (!r.correctable) {
+            if (attempt < cfg_.readRetries) {
+                stats_.readRetries.inc();
+                readAttempt(ppn, buf, attempt + 1, std::move(cb),
+                            span);
+                return;
+            }
             stats_.uncorrectableReads.inc();
+            if (buf) {
+                // Surface the failure as visibly corrupt data so an
+                // integrity validator upstream cannot miss it: flip
+                // the first 64 bytes. (The real device would signal
+                // an ECC error; our PageBackend API has no status
+                // channel yet.)
+                for (std::size_t i = 0; i < 64; ++i)
+                    buf[i] ^= 0xFF;
+            }
+        } else if (attempt > 0) {
+            stats_.readRetrySuccesses.inc();
+        }
         cb();
     }, span);
 }
@@ -229,11 +260,18 @@ Ftl::startWrite(WriteOp op)
     nand_.programPage(ppn, data_ptr, [this, ppn, retry] {
         if (nand_.lastProgramFailed()) {
             // Grown defect: retire the whole block. Its other live
-            // pages are rescued by an immediate GC-style relocation
-            // the next time the collector runs; the failed write
-            // itself retries on a different block right away.
-            std::uint64_t blk = nand_.flatBlockOfPage(ppn);
-            retireBlock(blk, ppn, *retry);
+            // pages are rescued by the collector (Retired blocks with
+            // valid data stay GC-visible); the failed write itself
+            // retries on a different block right away. The retried
+            // write's map() returns ppn as the old mapping and
+            // invalidates it exactly once.
+            markBlockBad(nand_.flatBlockOfPage(ppn));
+            WriteOp again;
+            again.lpn = retry->lpn;
+            again.data = retry->data;
+            again.done = std::move(retry->done);
+            again.span = retry->span;
+            startWrite(std::move(again));
             return;
         }
         if (retry->done)
@@ -242,19 +280,17 @@ Ftl::startWrite(WriteOp op)
 }
 
 void
-Ftl::retireBlock(std::uint64_t block_no, std::uint64_t failed_ppn,
-                 WriteOp& op)
+Ftl::markBlockBad(std::uint64_t block_no)
 {
+    if (bbm_.isBad(block_no))
+        return; // A second failure on an already-retired block.
     stats_.grownBadBlocks.inc();
     bbm_.retire(block_no);
     warn("Ftl: retiring grown-bad block ", block_no);
 
-    // The failed page's mapping is corrected by the retried write
-    // below: its map() returns failed_ppn as the old mapping and
-    // invalidates it exactly once.
-    (void)failed_ppn;
-
-    // The block can no longer be an allocation target.
+    // The block can no longer be an allocation target, and it never
+    // rejoins the free pool: Retired is terminal. GC still scavenges
+    // it while validCount > 0 but will not erase or free it.
     for (std::size_t slot = 0; slot < activeBlocks_.size(); ++slot) {
         if (activeBlocks_[slot] == block_no)
             activeBlocks_[slot] = kUnmapped;
@@ -266,15 +302,7 @@ Ftl::retireBlock(std::uint64_t block_no, std::uint64_t failed_ppn,
             break;
         }
     }
-    blocks_[block_no].state = BlockMeta::State::Full; // Park it.
-
-    // Retry the user write on healthy media.
-    WriteOp again;
-    again.lpn = op.lpn;
-    again.data = op.data;
-    again.done = std::move(op.done);
-    again.span = op.span;
-    startWrite(std::move(again));
+    blocks_[block_no].state = BlockMeta::State::Retired;
 }
 
 void
@@ -331,46 +359,82 @@ Ftl::gcStep()
                     gcStep();
                     return;
                 }
-                std::uint64_t dst = allocatePage();
-                if (dst == kUnmapped) {
-                    // Out of space mid-GC: should be impossible with
-                    // sane watermarks.
-                    panic("Ftl: GC starved of free pages");
-                }
-                std::uint64_t old = map_.map(lpn, dst);
-                NVDC_ASSERT(old == ppn, "GC mapping raced");
-                invalidate(old);
-                blocks_[nand_.flatBlockOfPage(dst)].validCount += 1;
-                stats_.gcRelocations.inc();
-                nand_.programPage(dst, buf->data(),
-                                  [this] { gcStep(); });
+                gcRelocate(lpn, buf);
             });
             return;
         }
         gcPageCursor_ += 1;
     }
 
-    // All live data moved; erase and reclaim.
+    // All live data moved. A block that was retired (by a program
+    // failure here or on the user path) must never be erased or
+    // refreed — its data is rescued, and that is all.
+    if (blocks_[gcVictim_].state == BlockMeta::State::Retired) {
+        NVDC_ASSERT(blocks_[gcVictim_].validCount == 0,
+                    "retired GC victim still holds live data");
+        gcVictimDone();
+        return;
+    }
     nand_.eraseBlock(gcVictim_, [this] {
         BlockMeta& meta = blocks_[gcVictim_];
         NVDC_ASSERT(meta.validCount == 0,
                     "erasing block with live data");
+        NVDC_ASSERT(!bbm_.isBad(gcVictim_),
+                    "erased a retired block");
         meta.state = BlockMeta::State::Free;
         meta.writeCursor = 0;
         freeBlocks_.push_back(gcVictim_);
         stats_.gcErases.inc();
+        gcVictimDone();
+    });
+}
 
-        if (freeBlocks_.size() < cfg_.gcHighWaterBlocks) {
-            auto victim = GarbageCollector::pickVictim(blocks_);
-            if (victim) {
-                gcVictim_ = *victim;
-                gcPageCursor_ = 0;
-                eq_.scheduleAfter(gcStepEvent_, 0);
+void
+Ftl::gcRelocate(std::uint64_t lpn,
+                std::shared_ptr<std::vector<std::uint8_t>> buf)
+{
+    std::uint64_t dst = allocatePage();
+    if (dst == kUnmapped) {
+        // Out of space mid-GC: should be impossible with sane
+        // watermarks.
+        panic("Ftl: GC starved of free pages");
+    }
+    std::uint64_t old = map_.map(lpn, dst);
+    if (old != kUnmapped)
+        invalidate(old);
+    blocks_[nand_.flatBlockOfPage(dst)].validCount += 1;
+    stats_.gcRelocations.inc();
+    nand_.programPage(dst, buf->data(), [this, lpn, dst, buf] {
+        if (nand_.lastProgramFailed()) {
+            // The relocation target grew a defect: the mapping points
+            // at a page whose program never landed. Retire the target
+            // block and move the data again — unless the user
+            // overwrote the lpn while the program was in flight, in
+            // which case their newer copy wins and there is nothing
+            // left to rescue.
+            markBlockBad(nand_.flatBlockOfPage(dst));
+            if (map_.lookup(lpn) == dst) {
+                gcRelocate(lpn, buf);
                 return;
             }
         }
-        finishGc();
+        gcStep();
     });
+}
+
+void
+Ftl::gcVictimDone()
+{
+    if (freeBlocks_.size() < cfg_.gcHighWaterBlocks) {
+        auto victim = GarbageCollector::pickVictim(blocks_);
+        if (victim) {
+            gcVictim_ = *victim;
+            gcPageCursor_ = 0;
+            eq_.scheduleAfter(gcStepEvent_, 0);
+            return;
+        }
+    }
+    finishGc();
 }
 
 void
@@ -396,6 +460,135 @@ Ftl::drainPending()
     }
 }
 
+bool
+Ftl::checkInvariants(std::string* why) const
+{
+    auto fail = [why](std::string msg) {
+        if (why)
+            *why = std::move(msg);
+        return false;
+    };
+    const auto& p = nand_.params();
+
+    // L2P / P2L agreement and per-block valid counts recomputed from
+    // scratch.
+    std::vector<std::uint32_t> live(blocks_.size(), 0);
+    for (std::uint64_t lpn = 0; lpn < map_.logicalPages(); ++lpn) {
+        std::uint64_t ppn = map_.lookup(lpn);
+        if (ppn == kUnmapped)
+            continue;
+        if (ppn >= p.totalPages())
+            return fail("lpn " + std::to_string(lpn) +
+                        " maps beyond the device");
+        if (map_.reverseLookup(ppn) != lpn)
+            return fail("p2l disagrees with l2p for lpn " +
+                        std::to_string(lpn));
+        live[nand_.flatBlockOfPage(ppn)] += 1;
+    }
+    if (map_.mappedCount() !=
+        std::accumulate(live.begin(), live.end(), std::uint64_t{0}))
+        return fail("p2l has entries l2p does not");
+
+    std::vector<bool> in_free(blocks_.size(), false);
+    for (std::uint64_t b : freeBlocks_) {
+        if (in_free[b])
+            return fail("block " + std::to_string(b) +
+                        " is in the free list twice");
+        in_free[b] = true;
+        if (blocks_[b].state != BlockMeta::State::Free)
+            return fail("free-listed block " + std::to_string(b) +
+                        " is not Free");
+        if (bbm_.isBad(b))
+            return fail("bad block " + std::to_string(b) +
+                        " is free-listed");
+    }
+    for (std::uint64_t b : activeBlocks_) {
+        if (b == kUnmapped)
+            continue;
+        if (blocks_[b].state != BlockMeta::State::Active)
+            return fail("active-slot block " + std::to_string(b) +
+                        " is not Active");
+        if (bbm_.isBad(b))
+            return fail("bad block " + std::to_string(b) +
+                        " is an allocation target");
+    }
+    for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+        if (blocks_[b].validCount != live[b])
+            return fail("block " + std::to_string(b) +
+                        " validCount " +
+                        std::to_string(blocks_[b].validCount) +
+                        " != live mappings " +
+                        std::to_string(live[b]));
+        // Factory-bad blocks keep the default Free state but are
+        // never free-listed; grown-bad ones are Retired.
+        if (blocks_[b].state == BlockMeta::State::Free &&
+            !in_free[b] && !bbm_.isBad(b))
+            return fail("Free block " + std::to_string(b) +
+                        " missing from the free list");
+    }
+    return true;
+}
+
+namespace
+{
+
+constexpr std::uint32_t kFtlStateTag = 0x314c5446; // "FTL1"
+
+} // namespace
+
+void
+Ftl::saveState(ByteWriter& w) const
+{
+    NVDC_ASSERT(!gcActive_ && pendingWrites_.empty(),
+                "checkpointing a non-quiesced FTL");
+    w.tag(kFtlStateTag);
+    map_.saveState(w);
+    bbm_.saveState(w);
+    w.u64(blocks_.size());
+    for (const BlockMeta& m : blocks_) {
+        w.u8(static_cast<std::uint8_t>(m.state));
+        w.u32(m.validCount);
+        w.u32(m.writeCursor);
+    }
+    w.u64(freeBlocks_.size());
+    for (std::uint64_t b : freeBlocks_)
+        w.u64(b);
+    w.u64(activeBlocks_.size());
+    for (std::uint64_t b : activeBlocks_)
+        w.u64(b);
+    w.u64(nextDieSlot_);
+    w.u64(wearCheckTick_);
+}
+
+void
+Ftl::loadState(ByteReader& r)
+{
+    NVDC_ASSERT(!gcActive_ && pendingWrites_.empty(),
+                "restoring over a non-quiesced FTL");
+    r.expectTag(kFtlStateTag);
+    map_.loadState(r);
+    bbm_.loadState(r);
+    std::uint64_t nblocks = r.u64();
+    if (nblocks != blocks_.size())
+        fatal("Ftl checkpoint block-count mismatch: saved ", nblocks,
+              ", device has ", blocks_.size());
+    for (BlockMeta& m : blocks_) {
+        m.state = static_cast<BlockMeta::State>(r.u8());
+        m.validCount = r.u32();
+        m.writeCursor = r.u32();
+    }
+    freeBlocks_.resize(r.u64());
+    for (std::uint64_t& b : freeBlocks_)
+        b = r.u64();
+    std::uint64_t nactive = r.u64();
+    if (nactive != activeBlocks_.size())
+        fatal("Ftl checkpoint die-slot mismatch");
+    for (std::uint64_t& b : activeBlocks_)
+        b = r.u64();
+    nextDieSlot_ = r.u64();
+    wearCheckTick_ = r.u64();
+}
+
 void
 Ftl::registerStats(StatRegistry& reg, const std::string& prefix) const
 {
@@ -407,6 +600,9 @@ Ftl::registerStats(StatRegistry& reg, const std::string& prefix) const
     reg.addCounter(prefix + ".unmapped_reads", stats_.unmappedReads);
     reg.addCounter(prefix + ".uncorrectable_reads",
                    stats_.uncorrectableReads);
+    reg.addCounter(prefix + ".read_retries", stats_.readRetries);
+    reg.addCounter(prefix + ".read_retry_successes",
+                   stats_.readRetrySuccesses);
     reg.addCounter(prefix + ".grown_bad_blocks",
                    stats_.grownBadBlocks);
     reg.add(prefix + ".write_amplification",

@@ -17,10 +17,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "ftl/bad_block_manager.hh"
 #include "ftl/ecc.hh"
@@ -45,6 +48,9 @@ struct FtlConfig
     std::uint32_t gcHighWaterBlocks = 8;
     /** Static wear-leveling spread threshold. */
     std::uint32_t wearThreshold = 16;
+    /** Re-reads attempted after an uncorrectable decode (read-retry
+     *  with a tweaked sense level often succeeds on real NAND). */
+    std::uint32_t readRetries = 0;
     Ecc::Params ecc;
 };
 
@@ -58,6 +64,8 @@ struct FtlStats
     Counter gcRuns;
     Counter unmappedReads;
     Counter uncorrectableReads;
+    Counter readRetries;
+    Counter readRetrySuccesses;
     Counter grownBadBlocks;
 
     double
@@ -96,6 +104,42 @@ class Ftl : public nvm::PageBackend
     const BadBlockManager& badBlocks() const { return bbm_; }
     std::size_t freeBlockCount() const { return freeBlocks_.size(); }
     bool gcInProgress() const { return gcActive_; }
+    const BlockMeta& blockMeta(std::uint64_t block_no) const
+    {
+        return blocks_[block_no];
+    }
+
+    /**
+     * Fault injection: called once per physical-page read attempt with
+     * the target ppn; returns the raw bit-error count fed to the ECC
+     * decoder instead of its internal Poisson draw. Runs in the media
+     * completion context, so a deterministic sampler keyed on ppn
+     * yields thread-count-independent campaigns. Null restores the
+     * stochastic model.
+     */
+    using ReadErrorHook = std::function<std::uint32_t(std::uint64_t)>;
+    void setReadErrorHook(ReadErrorHook hook)
+    {
+        readErrorHook_ = std::move(hook);
+    }
+
+    /**
+     * Cross-check every structural invariant the FTL maintains: L2P /
+     * P2L agreement, per-block valid counts, free-list membership,
+     * active-block states, and bad blocks never being allocatable.
+     * Mapping and counters update atomically within one event, so
+     * this is callable at any event boundary.
+     * @return true if consistent; otherwise false with @p why (if
+     *         non-null) describing the first violation.
+     */
+    bool checkInvariants(std::string* why) const;
+
+    /** @name Checkpointing (fault campaigns). Requires a quiesced FTL
+     *  (no in-flight GC, no pending writes). */
+    /** @{ */
+    void saveState(ByteWriter& w) const;
+    void loadState(ByteReader& r);
+    /** @} */
 
     /** Erase-count spread across the device (static-WL health). */
     std::uint32_t wearSpread() const;
@@ -118,15 +162,20 @@ class Ftl : public nvm::PageBackend
 
     /** Allocate the next physical page, or kUnmapped if out of space. */
     std::uint64_t allocatePage();
-    /** Handle a grown-bad block: retire it and retry @p op. */
-    void retireBlock(std::uint64_t block_no, std::uint64_t failed_ppn,
-                     WriteOp& op);
+    /** Retire a grown-bad block (idempotent). */
+    void markBlockBad(std::uint64_t block_no);
     /** Open a fresh active block for @p die_slot if possible. */
     bool openActiveBlock(std::size_t die_slot);
     void invalidate(std::uint64_t ppn);
     void startWrite(WriteOp op);
+    void readAttempt(std::uint64_t ppn, std::uint8_t* buf,
+                     std::uint32_t attempt, nvm::Callback done,
+                     span::Id span);
     void maybeStartGc();
     void gcStep();
+    void gcRelocate(std::uint64_t lpn,
+                    std::shared_ptr<std::vector<std::uint8_t>> buf);
+    void gcVictimDone();
     void finishGc();
     void drainPending();
 
@@ -139,6 +188,7 @@ class Ftl : public nvm::PageBackend
     BadBlockManager bbm_;
     WearLeveler wl_;
     Ecc ecc_;
+    ReadErrorHook readErrorHook_;
 
     std::vector<BlockMeta> blocks_;
     std::vector<std::uint64_t> freeBlocks_;

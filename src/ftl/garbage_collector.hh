@@ -17,7 +17,12 @@ namespace nvdimmc::ftl
 /** Per-block FTL bookkeeping shared with the collector. */
 struct BlockMeta
 {
-    enum class State : std::uint8_t { Free, Active, Full };
+    /**
+     * Retired blocks grew a defect (program/erase failure) and never
+     * rejoin the free pool; ones still holding valid pages remain
+     * GC-visible so their data gets rescued, then they are parked.
+     */
+    enum class State : std::uint8_t { Free, Active, Full, Retired };
 
     State state = State::Free;
     std::uint32_t validCount = 0;
@@ -29,8 +34,11 @@ class GarbageCollector
 {
   public:
     /**
-     * Greedy choice over Full blocks.
-     * @return block number, or nullopt if no Full block exists.
+     * Greedy choice over Full blocks, plus Retired blocks that still
+     * hold valid data (rescue-only victims: scavenged but never
+     * erased or freed). Retired blocks with no valid pages are never
+     * picked, so retirement cannot loop the collector.
+     * @return block number, or nullopt if no eligible block exists.
      */
     static std::optional<std::uint64_t>
     pickVictim(const std::vector<BlockMeta>& blocks)
@@ -38,7 +46,11 @@ class GarbageCollector
         std::optional<std::uint64_t> best;
         std::uint32_t best_valid = ~std::uint32_t{0};
         for (std::uint64_t b = 0; b < blocks.size(); ++b) {
-            if (blocks[b].state != BlockMeta::State::Full)
+            bool eligible =
+                blocks[b].state == BlockMeta::State::Full ||
+                (blocks[b].state == BlockMeta::State::Retired &&
+                 blocks[b].validCount > 0);
+            if (!eligible)
                 continue;
             if (blocks[b].validCount < best_valid) {
                 best_valid = blocks[b].validCount;

@@ -11,6 +11,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
 namespace nvdimmc::ftl
 {
 
@@ -56,6 +59,36 @@ class MappingTable
 
     /** Number of live mappings. */
     std::uint64_t mappedCount() const { return p2l_.size(); }
+
+    /** @name Checkpointing (fault campaigns). The reverse map is
+     *  rebuilt from l2p on load. */
+    /** @{ */
+    void
+    saveState(ByteWriter& w) const
+    {
+        w.tag(0x3150324c); // "L2P1"
+        w.u64(l2p_.size());
+        for (std::uint64_t ppn : l2p_)
+            w.u64(ppn);
+    }
+
+    void
+    loadState(ByteReader& r)
+    {
+        r.expectTag(0x3150324c);
+        std::uint64_t n = r.u64();
+        if (n != l2p_.size()) {
+            fatal("MappingTable checkpoint size mismatch: saved ", n,
+                  " logical pages, table has ", l2p_.size());
+        }
+        p2l_.clear();
+        for (std::uint64_t lpn = 0; lpn < n; ++lpn) {
+            l2p_[lpn] = r.u64();
+            if (l2p_[lpn] != kUnmapped)
+                p2l_[l2p_[lpn]] = lpn;
+        }
+    }
+    /** @} */
 
   private:
     std::vector<std::uint64_t> l2p_;

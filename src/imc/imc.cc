@@ -185,12 +185,19 @@ Imc::completeRead(MemRequest req, Tick data_end)
 void
 Imc::commitWrite(MemRequest req, Tick data_end)
 {
-    auto coord = req.coord;
-    auto data = req.writeData;
-    bool has = req.hasWriteData;
-    eq_.schedule(data_end, [this, coord, data, has] {
-        if (has)
-            bus_.dram().writeBurst(coord, data.data());
+    // Park the request where a power-fail flush can still see it; the
+    // burst-end event commits it to the array and retires it. If ADR
+    // already flushed it post-mortem, the event finds nothing to do.
+    std::uint64_t id = nextInflightWrite_++;
+    inflightWrites_.emplace(id, std::move(req));
+    eq_.schedule(data_end, [this, id] {
+        auto it = inflightWrites_.find(id);
+        if (it != inflightWrites_.end()) {
+            if (it->second.hasWriteData)
+                bus_.dram().writeBurst(it->second.coord,
+                                       it->second.writeData.data());
+            inflightWrites_.erase(it);
+        }
         notifySpace();
     });
 }
@@ -475,6 +482,14 @@ std::size_t
 Imc::adrFlushWpq()
 {
     std::size_t n = 0;
+    // Bursts already on the wires land first (they left the WPQ
+    // before anything still queued behind them).
+    for (auto& [id, req] : inflightWrites_) {
+        if (req.hasWriteData)
+            bus_.dram().writeBurst(req.coord, req.writeData.data());
+        ++n;
+    }
+    inflightWrites_.clear();
     while (!wpq_.empty()) {
         MemRequest req = wpq_.pop();
         if (req.hasWriteData)

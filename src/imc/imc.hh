@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -172,13 +173,21 @@ class Imc
 
     /**
      * Power-failure ADR flush: commit every WPQ entry's data straight
-     * into the DRAM array (the platform guarantees the energy for
-     * this). @return entries flushed.
+     * into the DRAM array, along with writes whose CAS already issued
+     * but whose data burst was still on the wires — both live inside
+     * the memory controller, which is exactly what ADR's stored
+     * energy drains. @return entries flushed.
      */
     std::size_t adrFlushWpq();
 
-    /** Power-failure *without* ADR: WPQ contents are lost. */
-    std::size_t dropWpq() { return wpq_.dropAll(); }
+    /** Power-failure *without* ADR: WPQ contents AND in-flight
+     *  bursts are lost. */
+    std::size_t dropWpq()
+    {
+        std::size_t n = wpq_.dropAll() + inflightWrites_.size();
+        inflightWrites_.clear();
+        return n;
+    }
 
     const ImcStats& stats() const { return stats_; }
 
@@ -206,6 +215,16 @@ class Imc
     std::deque<MemRequest> readQ_;
     WritePendingQueue wpq_;
     std::vector<Callback> spaceWaiters_;
+
+    /**
+     * Writes popped from the WPQ at CAS time whose data burst has not
+     * yet landed in the array. Kept so a power-fail flush can commit
+     * them — otherwise a cut between CAS and burst-end would lose an
+     * already-acked posted store (it is in neither the WPQ nor the
+     * array). Ordered map: flush order is deterministic.
+     */
+    std::map<std::uint64_t, MemRequest> inflightWrites_;
+    std::uint64_t nextInflightWrite_ = 0;
 
     enum class RefState : std::uint8_t { Idle, WaitPrea, WaitRef,
                                          Blocked };

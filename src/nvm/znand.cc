@@ -175,8 +175,14 @@ ZNand::programPage(std::uint64_t page_no, const std::uint8_t* data,
     std::uint64_t block_no = flatBlockOfPage(page_no);
 
     // Grown-defect injection: the program op completes (after its
-    // normal latency) but reports failure; data did NOT land.
-    if (failNextProgram_.erase(block_no)) {
+    // normal latency) but reports failure; data did NOT land. The
+    // one-shot list and the rate-based hook share the failure path.
+    bool inject_failure = failNextProgram_.erase(block_no) != 0;
+    if (!inject_failure && programFaultHook_ &&
+        programFaultHook_(page_no)) {
+        inject_failure = true;
+    }
+    if (inject_failure) {
         stats_.programFailures.inc();
         DieState& fdie = dieOf(page_no);
         Tick ffinish =
@@ -299,6 +305,101 @@ bool
 ZNand::isBadBlock(std::uint64_t block_no) const
 {
     return badBlocks_.count(block_no) != 0;
+}
+
+namespace
+{
+
+constexpr std::uint32_t kZNandStateTag = 0x314e445a; // "ZDN1"
+
+/** Sorted keys of an unordered map/set, for deterministic streams. */
+template <typename Container>
+std::vector<std::uint64_t>
+sortedKeys(const Container& c)
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(c.size());
+    for (const auto& entry : c) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(entry)>,
+                                     std::uint64_t>) {
+            keys.push_back(entry);
+        } else {
+            keys.push_back(entry.first);
+        }
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace
+
+void
+ZNand::saveState(ByteWriter& w) const
+{
+    w.tag(kZNandStateTag);
+    w.u64(params_.totalPages()); // Geometry guard for restore.
+
+    auto block_keys = sortedKeys(blocks_);
+    w.u64(block_keys.size());
+    for (std::uint64_t b : block_keys) {
+        const BlockState& st = blocks_.at(b);
+        w.u64(b);
+        w.u32(st.eraseCount);
+        w.u32(st.nextPage);
+        for (std::uint32_t i = 0; i < params_.pagesPerBlock; ++i)
+            w.u8(st.programmed[i] ? 1 : 0);
+    }
+
+    auto page_keys = sortedKeys(pageData_);
+    w.u64(page_keys.size());
+    for (std::uint64_t p : page_keys) {
+        w.u64(p);
+        w.bytes(pageData_.at(p).data(), params_.pageBytes);
+    }
+
+    auto bad_keys = sortedKeys(badBlocks_);
+    w.u64(bad_keys.size());
+    for (std::uint64_t b : bad_keys)
+        w.u64(b);
+}
+
+void
+ZNand::loadState(ByteReader& r)
+{
+    r.expectTag(kZNandStateTag);
+    std::uint64_t pages = r.u64();
+    if (pages != params_.totalPages()) {
+        fatal("ZNand checkpoint geometry mismatch: saved ", pages,
+              " pages, device has ", params_.totalPages());
+    }
+
+    blocks_.clear();
+    std::uint64_t nblocks = r.u64();
+    for (std::uint64_t i = 0; i < nblocks; ++i) {
+        std::uint64_t b = r.u64();
+        BlockState& st = blockState(b);
+        st.eraseCount = r.u32();
+        st.nextPage = r.u32();
+        for (std::uint32_t pg = 0; pg < params_.pagesPerBlock; ++pg)
+            st.programmed[pg] = r.u8() != 0;
+    }
+
+    pageData_.clear();
+    std::uint64_t npages = r.u64();
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        std::uint64_t p = r.u64();
+        auto& store = pageData_[p];
+        store.resize(params_.pageBytes);
+        r.bytes(store.data(), params_.pageBytes);
+    }
+
+    badBlocks_.clear();
+    std::uint64_t nbad = r.u64();
+    for (std::uint64_t i = 0; i < nbad; ++i)
+        badBlocks_.insert(r.u64());
+
+    failNextProgram_.clear();
+    lastProgramFailed_ = false;
 }
 
 void

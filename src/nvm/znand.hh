@@ -17,11 +17,13 @@
 #define NVDIMMC_NVM_ZNAND_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/serialize.hh"
 #include "common/span.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -157,6 +159,28 @@ class ZNand
     void failNextProgramIn(std::uint64_t block_no);
     /** Did the most recent program on this block fail? */
     bool lastProgramFailed() const { return lastProgramFailed_; }
+    /**
+     * Rate-based failure injection: called once per program with the
+     * target page; returning true makes that program report failure
+     * (same semantics as failNextProgramIn). The hook runs inside the
+     * media event context, so a deterministic sampler yields
+     * thread-count-independent campaigns. Null clears it.
+     */
+    void
+    setProgramFaultHook(std::function<bool(std::uint64_t)> hook)
+    {
+        programFaultHook_ = std::move(hook);
+    }
+    /** @} */
+
+    /** @name Device-state checkpointing (fault campaigns).
+     *  Persistent media state only: per-block program/erase cursors,
+     *  page contents and the bad-block list. Transient simulation
+     *  state (die/channel busy times, pending fault injections) is
+     *  not saved — checkpoint at a quiesced instant. */
+    /** @{ */
+    void saveState(ByteWriter& w) const;
+    void loadState(ByteReader& r);
     /** @} */
 
     const ZNandStats& stats() const { return stats_; }
@@ -194,6 +218,7 @@ class ZNand
                        std::vector<std::uint8_t>> pageData_;
     std::unordered_set<std::uint64_t> badBlocks_;
     std::unordered_set<std::uint64_t> failNextProgram_;
+    std::function<bool(std::uint64_t)> programFaultHook_;
     bool lastProgramFailed_ = false;
     ZNandStats stats_;
 };

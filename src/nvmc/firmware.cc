@@ -100,6 +100,12 @@ Firmware::startOp(Op op)
 {
     opsInFlight_ += 1;
     auto shared = std::make_shared<Op>(std::move(op));
+    // Any fresh command on a slot invalidates a prior merged-capture
+    // note for it: the driver only reuses a slot after installing new
+    // metadata, so the note's page match is already stale.
+    mergedCaptured_.erase(shared->cmd.dramSlot);
+    if (shared->cmd.opcode == CpOpcode::WritebackCachefill)
+        mergedCaptured_.erase(shared->cmd.dramSlot2);
     switch (shared->cmd.opcode) {
       case CpOpcode::Cachefill:
         stats_.cachefills.inc();
@@ -159,7 +165,7 @@ Firmware::runWriteback(std::shared_ptr<Op> op, std::uint64_t nand_page,
     req.isWrite = false;
     req.buffer = op->buffer2;
     req.span = op->cmd.spanId;
-    req.done = [this, op, nand_page, then_cachefill] {
+    req.done = [this, op, nand_page, dram_slot, then_cachefill] {
         // Data left the DRAM; it is power-safe in the FPGA buffer.
         // The program is off the host's critical path (the ack does
         // not wait for it), so it rides with no span.
@@ -169,8 +175,12 @@ Firmware::runWriteback(std::shared_ptr<Op> op, std::uint64_t nand_page,
         };
         if (then_cachefill) {
             // Merged op: the NAND program of the evicted page and the
-            // cachefill of the new one proceed in parallel.
+            // cachefill of the new one proceed in parallel. From this
+            // instant the slot's content is no longer the victim's —
+            // note the capture so a power-fail dump skips the slot
+            // until the install rewrites its metadata.
             program();
+            mergedCaptured_[dram_slot] = nand_page;
             runCachefill(op, op->cmd.nandPage2, op->cmd.dramSlot2,
                          true);
         } else if (cfg_.ackEarlyWriteback) {
@@ -249,6 +259,15 @@ Firmware::powerFailDump()
             meta_line.data() + (maddr - line_addr));
         if (!m.valid || !m.dirty)
             continue;
+        auto cap = mergedCaptured_.find(slot);
+        if (cap != mergedCaptured_.end() && cap->second == m.nandPage) {
+            // A merged wb+cf is mid-flight on this slot: the victim's
+            // bytes were captured and programmed the moment the
+            // writeback data left DRAM, and the slot itself may hold
+            // a partially landed fill. Dumping it would overwrite the
+            // victim's NAND page with the incoming page's bytes.
+            continue;
+        }
         readDramDirect(layout_.slotAddr(slot),
                        nvm::PageBackend::kPageBytes, page.data());
         // Post-mortem: commit straight into the backend's store.

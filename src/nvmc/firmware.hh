@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -144,6 +145,17 @@ class Firmware
     bool pollInFlight_ = false;
     bool decoding_ = false;
     std::uint32_t opsInFlight_ = 0;
+
+    /**
+     * Slots whose dirty victim a merged wb+cf already captured (and
+     * programmed), keyed by slot with the victim's NAND page as the
+     * value. While such an entry matches the slot's in-DRAM metadata,
+     * a power-fail dump must NOT flush the slot: its bytes may be a
+     * partially landed fill, and the victim's copy in the FPGA buffer
+     * is already on its way to NAND. The entry stops matching once
+     * the driver's install rewrites the metadata to the new page.
+     */
+    std::unordered_map<std::uint32_t, std::uint64_t> mergedCaptured_;
 
     FirmwareStats stats_;
 };

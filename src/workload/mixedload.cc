@@ -1,8 +1,10 @@
 #include "workload/mixedload.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/logging.hh"
@@ -50,10 +52,26 @@ struct UserState
     Rng rng{1};
     /** slot -> seed of the last committed write. */
     std::unordered_map<std::uint64_t, std::uint64_t> committed;
+    /** Slots with a write issued but not yet acked. */
+    std::unordered_set<std::uint64_t> inflight;
     std::vector<std::uint8_t> buf;
 };
 
 } // namespace
+
+void
+fillRecordPattern(std::uint8_t* buf, std::uint32_t len,
+                  std::uint64_t seed)
+{
+    fillPattern(buf, len, seed);
+}
+
+bool
+checkRecordPattern(const std::uint8_t* buf, std::uint32_t len,
+                   std::uint64_t seed)
+{
+    return checkPattern(buf, len, seed);
+}
 
 MixedLoadResult
 runMixedLoad(EventQueue& eq, const DataDevice& dev,
@@ -137,9 +155,11 @@ runMixedLoad(EventQueue& eq, const DataDevice& dev,
                 (st.rng.next64() | 1);
             fillPattern(st.buf.data(), cfg.recordBytes, seed);
             Addr addr = st.base + slot * cfg.recordBytes;
+            st.inflight.insert(slot);
             dev.write(addr, cfg.recordBytes, st.buf.data(),
                       [this, u, r, slot, seed, written] {
                           UserState& stx = (*users)[u];
+                          stx.inflight.erase(slot);
                           stx.committed[slot] = seed;
                           written->push_back({slot, seed});
                           writeNext(u, r + 1, written);
@@ -208,7 +228,29 @@ runMixedLoad(EventQueue& eq, const DataDevice& dev,
     for (unsigned u = 0; u < cfg.users; ++u)
         drv->runTxn(u);
 
-    while (*alive > 0 && eq.runOne()) {
+    while (*alive > 0 &&
+           (cfg.haltAtTick == 0 || eq.now() < cfg.haltAtTick) &&
+           eq.runOne()) {
+    }
+    res.halted = *alive > 0;
+
+    // Export the committed-record oracle. Slots with a newer write
+    // still in flight are excluded: after a power cut they may hold
+    // the old bytes, the new bytes, or a torn mix — all legitimate.
+    for (const UserState& st : *users) {
+        res.inFlightWrites += st.inflight.size();
+        std::vector<std::uint64_t> slots;
+        slots.reserve(st.committed.size());
+        for (const auto& [slot, unused] : st.committed) {
+            if (!st.inflight.count(slot))
+                slots.push_back(slot);
+        }
+        std::sort(slots.begin(), slots.end());
+        for (std::uint64_t slot : slots) {
+            res.committed.push_back(
+                {st.base + slot * cfg.recordBytes,
+                 st.committed.at(slot)});
+        }
     }
 
     res.elapsed = eq.now() - start;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/event_queue.hh"
 #include "common/random.hh"
@@ -44,6 +45,20 @@ struct MixedLoadConfig
     Addr regionOffset = 0;
     std::uint64_t regionBytes = 0;
     std::uint64_t seed = 11;
+    /**
+     * Stop driving the event queue once simulated time reaches this
+     * tick (0 = run to completion). Used by power-fail campaigns to
+     * cut power mid-run; the result then carries the committed-record
+     * oracle for post-recovery integrity replay.
+     */
+    Tick haltAtTick = 0;
+};
+
+/** One acked record write: its address and pattern seed. */
+struct CommittedRecord
+{
+    Addr addr = 0;
+    std::uint64_t seed = 0;
 };
 
 /** Outcome. */
@@ -52,11 +67,30 @@ struct MixedLoadResult
     std::uint64_t transactions = 0;
     std::uint64_t validationFailures = 0;
     Tick elapsed = 0;
+    /** True when haltAtTick stopped the run before completion. */
+    bool halted = false;
+    /**
+     * Every record whose write was acked, EXCLUDING slots that had a
+     * newer write still in flight at the halt (those may legitimately
+     * hold old, new, or torn bytes after a power cut). Sorted by
+     * address; deterministic for a given seed and halt tick.
+     */
+    std::vector<CommittedRecord> committed;
+    /** Writes in flight (issued, not acked) when the run stopped. */
+    std::uint64_t inFlightWrites = 0;
 };
 
 /** Run to completion (drives the event queue). */
 MixedLoadResult runMixedLoad(EventQueue& eq, const DataDevice& dev,
                              const MixedLoadConfig& cfg);
+
+/** @name The record pattern, exposed for recovery replay. */
+/** @{ */
+void fillRecordPattern(std::uint8_t* buf, std::uint32_t len,
+                       std::uint64_t seed);
+bool checkRecordPattern(const std::uint8_t* buf, std::uint32_t len,
+                        std::uint64_t seed);
+/** @} */
 
 } // namespace nvdimmc::workload
 
