@@ -53,6 +53,13 @@ report(benchmark::State& state, const workload::FioResult& res,
  *      --channels=N     build every system with N memory channels
  *                       (N complete NVDIMM-C modules, page-interleaved;
  *                       default 1 = the PoC machine).
+ *      --backend=nvdimmc|cxl|pmem
+ *                       media-transport backend every system is built
+ *                       with: the paper's CP-over-DDR4 module
+ *                       (default), the CXL.mem hybrid device (same
+ *                       DRAM cache + Z-NAND behind a modeled link, no
+ *                       refresh windows, 256 B interleave), or the
+ *                       emulated-pmem baseline machine.
  *      --threads=N|auto run the sharded parallel-in-time kernel with
  *                       N executors (auto = one per channel); results
  *                       are byte-identical for every N >= 1. Default:
@@ -115,6 +122,14 @@ initObservability(int* argc, char** argv)
             int n = std::atoi(a + 11);
             if (n >= 1)
                 benchChannels() = static_cast<std::uint32_t>(n);
+        } else if (std::strncmp(a, "--backend=", 10) == 0) {
+            backend::BackendKind kind;
+            if (!backend::parseBackendKind(a + 10, kind)) {
+                std::cerr << "unknown --backend '" << (a + 10)
+                          << "' (expected nvdimmc, cxl or pmem)\n";
+                std::exit(1);
+            }
+            benchBackend() = kind;
         } else if (std::strcmp(a, "--threads=auto") == 0) {
             benchThreads() = kBenchThreadsAuto;
         } else if (std::strncmp(a, "--threads=", 10) == 0) {
@@ -146,6 +161,23 @@ writeSystemStats(const std::string& name,
         return;
     os << "{\"bench\":\"" << name << "\",\"stats\":";
     sys.dumpStatsJson(os);
+    os << "}\n";
+}
+
+/** Same, for a backend-polymorphic device (tags the line with the
+ *  backend so head-to-head runs can be merged from one JSONL). */
+inline void
+writeSystemStats(const std::string& name, const BenchDevice& dev)
+{
+    const Observability& obs = observability();
+    if (obs.statsPath.empty())
+        return;
+    std::ofstream os(obs.statsPath, std::ios::app);
+    if (!os)
+        return;
+    os << "{\"bench\":\"" << name << "\",\"backend\":\""
+       << backend::toString(benchBackend()) << "\",\"stats\":";
+    dev.dumpStatsJson(os);
     os << "}\n";
 }
 

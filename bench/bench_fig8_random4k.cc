@@ -57,15 +57,15 @@ BM_NvdcCached(benchmark::State& state, FioConfig::Pattern pattern,
 {
     workload::FioResult res;
     for (auto _ : state) {
-        auto sys = makeCachedSystem();
+        BenchDevice dev = makeCachedDevice();
         FioConfig cfg = baseCfg(pattern);
-        cfg.regionBytes = cachedRegionBytes(*sys);
-        res = runFio(sys->eq(), nvdcAccess(*sys), cfg);
-        if (!sys->hardwareClean())
+        cfg.regionBytes = dev.cachedRegion().second;
+        res = runFio(dev.eq(), dev.access(), cfg);
+        if (!dev.hardwareClean())
             state.SkipWithError("bus conflict detected");
         writeSystemStats(std::string("BM_NvdcCached/") +
                              patternTag(pattern),
-                         *sys);
+                         dev);
         writeLatencyBreakdown(std::string("BM_NvdcCached/") +
                               patternTag(pattern));
     }
@@ -78,19 +78,19 @@ BM_NvdcUncached(benchmark::State& state, FioConfig::Pattern pattern,
 {
     workload::FioResult res;
     for (auto _ : state) {
-        auto sys = makeUncachedSystem();
+        BenchDevice dev = makeUncachedDevice();
         FioConfig cfg = baseCfg(pattern);
-        auto [base, bytes] = uncachedRegion(*sys);
+        auto [base, bytes] = dev.missRegion();
         cfg.regionOffset = base;
         cfg.regionBytes = bytes;
         cfg.rampTime = 5 * kMs;
         cfg.runTime = 150 * kMs;
-        res = runFio(sys->eq(), nvdcAccess(*sys), cfg);
-        if (!sys->hardwareClean())
+        res = runFio(dev.eq(), dev.access(), cfg);
+        if (!dev.hardwareClean())
             state.SkipWithError("bus conflict detected");
         writeSystemStats(std::string("BM_NvdcUncached/") +
                              patternTag(pattern),
-                         *sys);
+                         dev);
         writeLatencyBreakdown(std::string("BM_NvdcUncached/") +
                               patternTag(pattern));
     }
@@ -111,16 +111,16 @@ BM_NvdcCachedAggregate(benchmark::State& state,
 {
     workload::FioResult res;
     for (auto _ : state) {
-        auto sys = makeCachedSystem();
+        BenchDevice dev = makeCachedDevice();
         FioConfig cfg = baseCfg(pattern);
         cfg.threads = 16;
-        cfg.regionBytes = cachedRegionBytes(*sys);
-        res = runFio(sys->eq(), nvdcAccess(*sys), cfg);
-        if (!sys->hardwareClean())
+        cfg.regionBytes = dev.cachedRegion().second;
+        res = runFio(dev.eq(), dev.access(), cfg);
+        if (!dev.hardwareClean())
             state.SkipWithError("bus conflict detected");
         writeSystemStats(std::string("BM_NvdcCachedAggregate/") +
                              patternTag(pattern),
-                         *sys);
+                         dev);
         writeLatencyBreakdown(std::string("BM_NvdcCachedAggregate/") +
                               patternTag(pattern));
     }

@@ -24,21 +24,40 @@ BM_MixedLoad_Users(benchmark::State& state)
     workload::MixedLoadResult res;
     for (auto _ : state) {
         // Validation requires real bytes end to end: detailed memcpy.
-        core::SystemConfig cfg = core::SystemConfig::scaledBench();
-        cfg.memcpy.bulkMode = false;
-        core::NvdimmcSystem sys(cfg);
+        BenchDevice sys;
+        if (benchBackend() == backend::BackendKind::Pmem)
+            sys.pmem = makePmemSystem([](core::BaselineConfig& c) {
+                c.memcpy.bulkMode = false;
+            });
+        else
+            sys.nvdc = std::make_unique<core::NvdimmcSystem>(
+                benchSystemConfig([](core::SystemConfig& c) {
+                    c.memcpy.bulkMode = false;
+                }));
 
         workload::DataDevice dev;
-        dev.capacityBytes = sys.driver().capacityBytes();
+        dev.capacityBytes = sys.nvdc
+                                ? sys.nvdc->driver().capacityBytes()
+                                : sys.pmem->driver().capacityBytes();
         dev.read = [&sys](Addr off, std::uint32_t len,
                           std::uint8_t* buf,
                           std::function<void()> done) {
-            sys.driver().read(off, len, buf, std::move(done));
+            if (sys.nvdc)
+                sys.nvdc->driver().read(off, len, buf,
+                                        std::move(done));
+            else
+                sys.pmem->driver().read(off, len, buf,
+                                        std::move(done));
         };
         dev.write = [&sys](Addr off, std::uint32_t len,
                            const std::uint8_t* data,
                            std::function<void()> done) {
-            sys.driver().write(off, len, data, std::move(done));
+            if (sys.nvdc)
+                sys.nvdc->driver().write(off, len, data,
+                                         std::move(done));
+            else
+                sys.pmem->driver().write(off, len, data,
+                                         std::move(done));
         };
 
         workload::MixedLoadConfig mc;

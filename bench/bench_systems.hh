@@ -18,6 +18,7 @@
 #include <memory>
 #include <utility>
 
+#include "backend/media_backend.hh"
 #include "common/span.hh"
 #include "core/system.hh"
 #include "workload/fio.hh"
@@ -69,6 +70,19 @@ benchThreads()
 }
 
 /**
+ * Media-transport backend every bench system is built with (the
+ * --backend=nvdimmc|cxl|pmem knob). The benches select a backend, not
+ * a wiring recipe: the factories below translate the kind into the
+ * right system assembly. Default: the paper's CP-over-DDR4 module.
+ */
+inline backend::BackendKind&
+benchBackend()
+{
+    static backend::BackendKind kind = backend::BackendKind::Nvdimmc;
+    return kind;
+}
+
+/**
  * Resolve the --threads request against the shard count @p cfg will
  * actually build: channels x 2 when the media split applies (Z-NAND
  * channels each contribute a DDR-side and a media shard), channels
@@ -112,6 +126,33 @@ pmemAccess(core::BaselineSystem& sys)
 }
 
 /**
+ * The one backend-aware config factory every hybrid-device bench
+ * build goes through: scaled bench preset, the --channels / --backend
+ * / --threads globals applied in that order, then the point's tweak
+ * (which may still override any of them, including the backend via
+ * cfg.applyCxlBackend()), the --threads=auto resolution, and the span
+ * auditor armed for the resulting refresh cadence.
+ */
+inline core::SystemConfig
+benchSystemConfig(std::function<void(core::SystemConfig&)> tweak = {})
+{
+    NVDC_ASSERT(benchBackend() != backend::BackendKind::Pmem,
+                "--backend=pmem builds a BaselineSystem (use "
+                "makeCachedDevice / makePmemSystem), not a hybrid "
+                "NvdimmcSystem");
+    core::SystemConfig cfg = core::SystemConfig::scaledBench();
+    cfg.channels = benchChannels();
+    if (benchBackend() == backend::BackendKind::CxlHybrid)
+        cfg.applyCxlBackend();
+    if (tweak)
+        tweak(cfg);
+    if (cfg.threads == 0)
+        cfg.threads = resolvedBenchThreads(cfg);
+    armSpanAuditor(cfg);
+    return cfg;
+}
+
+/**
  * Build an NVDIMM-C system whose cache is pre-populated so the given
  * region is entirely *cached* (PTEs valid); FIO over it measures the
  * NVDC-Cached series.
@@ -119,14 +160,8 @@ pmemAccess(core::BaselineSystem& sys)
 inline std::unique_ptr<core::NvdimmcSystem>
 makeCachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
 {
-    core::SystemConfig cfg = core::SystemConfig::scaledBench();
-    cfg.channels = benchChannels();
-    if (tweak)
-        tweak(cfg);
-    if (cfg.threads == 0)
-        cfg.threads = resolvedBenchThreads(cfg);
-    armSpanAuditor(cfg);
-    auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
+    auto sys =
+        std::make_unique<core::NvdimmcSystem>(benchSystemConfig(tweak));
     // Leave 64 slots per channel free so hits never evict.
     std::uint32_t slots = sys->totalSlotCount();
     sys->precondition(0, slots - 64 * sys->channelCount(), true);
@@ -150,14 +185,8 @@ cachedRegionBytes(core::NvdimmcSystem& sys)
 inline std::unique_ptr<core::NvdimmcSystem>
 makeUncachedSystem(std::function<void(core::SystemConfig&)> tweak = {})
 {
-    core::SystemConfig cfg = core::SystemConfig::scaledBench();
-    cfg.channels = benchChannels();
-    if (tweak)
-        tweak(cfg);
-    if (cfg.threads == 0)
-        cfg.threads = resolvedBenchThreads(cfg);
-    armSpanAuditor(cfg);
-    auto sys = std::make_unique<core::NvdimmcSystem>(cfg);
+    auto sys =
+        std::make_unique<core::NvdimmcSystem>(benchSystemConfig(tweak));
     sys->precondition(0, sys->totalSlotCount(), true);
     // The paper's uncached experiments run on a device whose blocks
     // all hold data (FIO preconditions the file), so every fill is a
@@ -175,6 +204,105 @@ uncachedRegion(core::NvdimmcSystem& sys)
                               128 * sys.channelCount()} *
                 4096;
     return {base, sys.driver().capacityBytes() - base};
+}
+
+/**
+ * Build the emulated-pmem baseline with the --channels / --threads
+ * globals applied (the BaselineConfig analogue of
+ * benchSystemConfig(); the pmem machine has no media shards, so
+ * --threads=auto resolves to one executor per channel).
+ */
+inline std::unique_ptr<core::BaselineSystem>
+makePmemSystem(std::function<void(core::BaselineConfig&)> tweak = {})
+{
+    core::BaselineConfig cfg = core::BaselineConfig::scaledBench();
+    cfg.channels = benchChannels();
+    if (tweak)
+        tweak(cfg);
+    if (cfg.threads == 0 && benchThreads() != 0) {
+        cfg.threads = benchThreads() == kBenchThreadsAuto
+                          ? cfg.channels
+                          : benchThreads();
+    }
+    return std::make_unique<core::BaselineSystem>(cfg);
+}
+
+/**
+ * One device under test, whichever backend fronts it: the hybrid
+ * transports build an NvdimmcSystem, --backend=pmem builds the
+ * BaselineSystem, and the bench body talks to either through the same
+ * handful of calls. This is what lets fig8/fig11/mixedload run the
+ * *same series* against all three backends for the head-to-head.
+ */
+struct BenchDevice
+{
+    std::unique_ptr<core::NvdimmcSystem> nvdc;
+    std::unique_ptr<core::BaselineSystem> pmem;
+
+    EventQueue& eq() { return nvdc ? nvdc->eq() : pmem->eq(); }
+
+    workload::AccessFn access()
+    {
+        return nvdc ? nvdcAccess(*nvdc) : pmemAccess(*pmem);
+    }
+
+    bool hardwareClean() const
+    {
+        return nvdc ? nvdc->hardwareClean() : true;
+    }
+
+    void dumpStats(std::ostream& os) const
+    {
+        nvdc ? nvdc->dumpStats(os) : pmem->dumpStats(os);
+    }
+
+    void dumpStatsJson(std::ostream& os) const
+    {
+        nvdc ? nvdc->dumpStatsJson(os) : pmem->dumpStatsJson(os);
+    }
+
+    /** Region an all-hit (cached) load should target. */
+    std::pair<Addr, std::uint64_t> cachedRegion()
+    {
+        if (nvdc)
+            return {0, cachedRegionBytes(*nvdc)};
+        return {0, std::min<std::uint64_t>(
+                       pmem->driver().capacityBytes(), 2 * kGiB)};
+    }
+
+    /** Region an all-miss (uncached) load should target. The pmem
+     *  baseline has no cache to miss; it serves the same region
+     *  either way. */
+    std::pair<Addr, std::uint64_t> missRegion()
+    {
+        if (nvdc)
+            return uncachedRegion(*nvdc);
+        return cachedRegion();
+    }
+};
+
+/** Cached-series device for the selected --backend. */
+inline BenchDevice
+makeCachedDevice(std::function<void(core::SystemConfig&)> tweak = {})
+{
+    BenchDevice d;
+    if (benchBackend() == backend::BackendKind::Pmem)
+        d.pmem = makePmemSystem();
+    else
+        d.nvdc = makeCachedSystem(std::move(tweak));
+    return d;
+}
+
+/** Uncached (all-miss) series device for the selected --backend. */
+inline BenchDevice
+makeUncachedDevice(std::function<void(core::SystemConfig&)> tweak = {})
+{
+    BenchDevice d;
+    if (benchBackend() == backend::BackendKind::Pmem)
+        d.pmem = makePmemSystem();
+    else
+        d.nvdc = makeUncachedSystem(std::move(tweak));
+    return d;
 }
 
 /** Run one FIO measurement point. */

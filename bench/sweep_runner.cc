@@ -19,9 +19,14 @@
  * deterministic: executors=1 and executors=N must export byte-identical
  * per-phase JSON, and the span auditor must pass on both runs.
  *
+ * The "backends" sweep runs the media-transport seam's contract:
+ * per-backend (nvdimmc, cxl, pmem) byte-identity verify points across
+ * executor counts, plus the fig8/fig11/mixedload head-to-head whose
+ * JSON export is committed as BENCH_backends.json.
+ *
  * Usage:
  *   sweep_runner [--sweep ablation|variants|cache_policy|channels
- *                        |parallel|latency|all]
+ *                        |parallel|latency|faults|backends|all]
  *                [--jobs N] [--json FILE] [--verify] [--list]
  */
 
@@ -44,6 +49,7 @@
 #include "driver/nvdimmf_driver.hh"
 #include "fault/campaign.hh"
 #include "ftl/ftl.hh"
+#include "workload/mixedload.hh"
 #include "workload/tpch.hh"
 
 namespace nvdimmc::bench
@@ -786,6 +792,325 @@ makeFaultsSweep()
 }
 
 /**
+ * Build one device under test for the backends sweep. The backend is
+ * carried explicitly (not via the --backend global) so points stay
+ * safe to run concurrently; the hybrid transports ride the shared
+ * cached/uncached factories, the pmem baseline gets its own machine.
+ */
+BenchDevice
+makeBackendDevice(backend::BackendKind kind, bool uncached)
+{
+    BenchDevice dev;
+    if (kind == backend::BackendKind::Pmem) {
+        dev.pmem = makePmemSystem();
+        return dev;
+    }
+    auto tweak = [kind](core::SystemConfig& c) {
+        if (kind == backend::BackendKind::CxlHybrid)
+            c.applyCxlBackend();
+    };
+    dev.nvdc = uncached ? makeUncachedSystem(tweak)
+                        : makeCachedSystem(tweak);
+    return dev;
+}
+
+/**
+ * One measured run for a backend byte-identity point: a cached random
+ * 4 KB FIO load on a 2-channel machine fronted by @p kind, built with
+ * the given executor count.
+ */
+ShardedRun
+runBackendFio(backend::BackendKind kind, std::uint32_t channels,
+              std::uint32_t threads)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    ShardedRun run;
+    FioConfig cfg;
+    cfg.pattern = FioConfig::Pattern::RandRead;
+    cfg.blockSize = 4096;
+    cfg.threads = 8;
+    cfg.rampTime = 2 * kMs;
+    cfg.runTime = 25 * kMs;
+    std::ostringstream stats;
+    if (kind == backend::BackendKind::Pmem) {
+        auto sys = makePmemSystem([&](core::BaselineConfig& c) {
+            c.channels = channels;
+            c.threads = threads;
+        });
+        cfg.regionBytes = std::min<std::uint64_t>(
+            sys->driver().capacityBytes(), 2 * kGiB);
+        run.fio = runFio(sys->eq(), pmemAccess(*sys), cfg);
+        sys->dumpStats(stats);
+    } else {
+        auto sys = makeCachedSystem([&](core::SystemConfig& c) {
+            c.channels = channels;
+            c.threads = threads;
+            if (kind == backend::BackendKind::CxlHybrid)
+                c.applyCxlBackend();
+        });
+        cfg.regionBytes = cachedRegionBytes(*sys);
+        run.fio = runFio(sys->eq(), nvdcAccess(*sys), cfg);
+        sys->dumpStats(stats);
+    }
+    run.stats = stats.str();
+    run.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    return run;
+}
+
+/**
+ * The per-backend byte-exactness proof: the same machine and workload
+ * with executors=1 (reference) and executors=N must agree on every
+ * FIO field and the full stats dump. Extends the sharded kernel's
+ * verify contract to every transport behind the MediaBackend seam.
+ */
+PointResult
+runBackendVerifyPoint(backend::BackendKind kind,
+                      std::uint32_t channels, std::uint32_t threads)
+{
+    ShardedRun ser = runBackendFio(kind, channels, 1);
+    ShardedRun par = runBackendFio(kind, channels, threads);
+    const bool ok = ser.fio.mbps == par.fio.mbps &&
+                    ser.fio.kiops == par.fio.kiops &&
+                    ser.fio.ops == par.fio.ops &&
+                    ser.fio.meanLatency == par.fio.meanLatency &&
+                    ser.fio.p50 == par.fio.p50 &&
+                    ser.fio.p99 == par.fio.p99 &&
+                    ser.stats == par.stats;
+    PointResult out = fioPoint(par.fio);
+    out.metrics.emplace_back("channels",
+                             static_cast<double>(channels));
+    out.metrics.emplace_back("threads", static_cast<double>(threads));
+    out.metrics.emplace_back("verify_ok", ok ? 1.0 : 0.0);
+    out.perf = {{"wall_serial_ms", ser.wallMs},
+                {"wall_parallel_ms", par.wallMs}};
+    if (!ok)
+        out.error = std::string(backend::toString(kind)) +
+                    " backend executors=" + std::to_string(threads) +
+                    " diverged from executors=1";
+    return out;
+}
+
+/** Sum of a phase's sum_ps fields across every op class in a span
+ *  breakdown JSON (the phase keys never collide with class names). */
+std::uint64_t
+phaseSumPs(const std::string& json, const char* phase)
+{
+    std::uint64_t total = 0;
+    const std::string needle =
+        std::string("\"") + phase + "\":{\"count\":";
+    for (std::size_t pos = json.find(needle);
+         pos != std::string::npos; pos = json.find(needle, pos + 1)) {
+        std::size_t s = json.find("\"sum_ps\":", pos);
+        if (s == std::string::npos)
+            break;
+        total += std::strtoull(json.c_str() + s + 9, nullptr, 10);
+    }
+    return total;
+}
+
+/**
+ * One fig8-style head-to-head point: random 4 KB reads on the PoC
+ * (1-channel) machine fronted by @p kind, with the span-layer
+ * breakdown folded into the metrics so the JSON export shows *where*
+ * each interface spends the latency — the NVDIMM-C transport
+ * accumulates window_wait + CP-channel time, the CXL transport zero
+ * window_wait with link/device-copy time in its place, the pmem
+ * baseline neither (no transport at all).
+ */
+PointResult
+runBackendFig8Point(backend::BackendKind kind, bool uncached)
+{
+    span::enable();
+    span::reset();
+    workload::FioResult fio;
+    {
+        BenchDevice dev = makeBackendDevice(kind, uncached);
+        FioConfig cfg;
+        cfg.pattern = FioConfig::Pattern::RandRead;
+        cfg.blockSize = 4096;
+        cfg.threads = uncached ? 4 : 8;
+        cfg.rampTime = 2 * kMs;
+        cfg.runTime = uncached ? 40 * kMs : 25 * kMs;
+        auto [base, bytes] =
+            uncached ? dev.missRegion() : dev.cachedRegion();
+        cfg.regionOffset = base;
+        cfg.regionBytes = bytes;
+        fio = runFio(dev.eq(), dev.access(), cfg);
+    }
+    span::AuditResult audit = span::audit();
+    std::ostringstream os;
+    span::writeBreakdownJson(os);
+    std::string json = os.str();
+    span::reset();
+    span::disable();
+
+    PointResult out = fioPoint(fio);
+    auto us = [](std::uint64_t ps) {
+        return static_cast<double>(ps) / 1e6;
+    };
+    out.metrics.emplace_back("audit_ok", audit.ok() ? 1.0 : 0.0);
+    out.metrics.emplace_back("window_wait_us",
+                             us(phaseSumPs(json, "window_wait")));
+    out.metrics.emplace_back(
+        "cp_channel_us", us(phaseSumPs(json, "cp_queue") +
+                            phaseSumPs(json, "cp_write") +
+                            phaseSumPs(json, "cp_ack")));
+    out.metrics.emplace_back(
+        "link_us", us(phaseSumPs(json, "link_wait") +
+                      phaseSumPs(json, "link_req") +
+                      phaseSumPs(json, "link_resp")));
+    out.metrics.emplace_back("dev_copy_us",
+                             us(phaseSumPs(json, "dev_copy")));
+    if (!audit.ok())
+        out.error = "span audit failed";
+    return out;
+}
+
+/**
+ * One fig11-style head-to-head point: TPC-H query @p qid storage
+ * replay on the device under test, normalized to the pmem baseline
+ * run in the same point (--backend=pmem therefore anchors at 1.0).
+ */
+PointResult
+runBackendTpchPoint(backend::BackendKind kind, int qid)
+{
+    const auto& spec =
+        workload::tpchQuerySpecs()[static_cast<std::size_t>(qid - 1)];
+    workload::TpchRunConfig run_cfg;
+    run_cfg.dbBytes = 3 * kGiB;
+    run_cfg.maxAccesses = 6000;
+    run_cfg.parallelism = 4;
+
+    core::BaselineSystem base(core::BaselineConfig::scaledBench());
+    Tick t_base = workload::runTpchQuery(
+        base.eq(), pmemAccess(base), spec, run_cfg);
+
+    BenchDevice dev = makeBackendDevice(kind, /*uncached=*/true);
+    Tick t_dev = workload::runTpchQuery(dev.eq(), dev.access(), spec,
+                                        run_cfg);
+
+    PointResult out;
+    out.metrics = {
+        {"elapsed_us", ticksToUs(t_dev)},
+        {"normalized_slowdown", static_cast<double>(t_dev) /
+                                    static_cast<double>(t_base)},
+    };
+    return out;
+}
+
+/**
+ * One mixedload head-to-head point: validating transactions with real
+ * bytes end to end; failures must stay 0 on every backend (the
+ * durable-on-ack contract is part of the seam).
+ */
+PointResult
+runBackendMixedloadPoint(backend::BackendKind kind)
+{
+    BenchDevice sys;
+    if (kind == backend::BackendKind::Pmem)
+        sys.pmem = makePmemSystem([](core::BaselineConfig& c) {
+            c.memcpy.bulkMode = false;
+        });
+    else
+        sys.nvdc = std::make_unique<core::NvdimmcSystem>(
+            benchSystemConfig([kind](core::SystemConfig& c) {
+                c.memcpy.bulkMode = false;
+                if (kind == backend::BackendKind::CxlHybrid)
+                    c.applyCxlBackend();
+            }));
+
+    workload::DataDevice dev;
+    dev.capacityBytes = sys.nvdc ? sys.nvdc->driver().capacityBytes()
+                                 : sys.pmem->driver().capacityBytes();
+    dev.read = [&sys](Addr off, std::uint32_t len, std::uint8_t* buf,
+                      std::function<void()> done) {
+        if (sys.nvdc)
+            sys.nvdc->driver().read(off, len, buf, std::move(done));
+        else
+            sys.pmem->driver().read(off, len, buf, std::move(done));
+    };
+    dev.write = [&sys](Addr off, std::uint32_t len,
+                       const std::uint8_t* data,
+                       std::function<void()> done) {
+        if (sys.nvdc)
+            sys.nvdc->driver().write(off, len, data, std::move(done));
+        else
+            sys.pmem->driver().write(off, len, data, std::move(done));
+    };
+
+    workload::MixedLoadConfig mc;
+    mc.users = 125;
+    mc.transactionsPerUser = 4;
+    mc.recordBytes = 4096;
+    mc.regionBytes = std::uint64_t{mc.users} * 32 * 4096;
+    workload::MixedLoadResult res =
+        workload::runMixedLoad(sys.eq(), dev, mc);
+
+    PointResult out;
+    out.metrics = {
+        {"transactions", static_cast<double>(res.transactions)},
+        {"validation_failures",
+         static_cast<double>(res.validationFailures)},
+        {"txn_per_sec", static_cast<double>(res.transactions) /
+                            ticksToSec(res.elapsed)},
+    };
+    if (res.validationFailures != 0)
+        out.error = "mixedload validation failures on " +
+                    std::string(backend::toString(kind));
+    else if (!sys.hardwareClean())
+        out.error = "bus conflict detected";
+    return out;
+}
+
+/**
+ * The backends sweep (the MediaBackend seam's verify + head-to-head
+ * contract): per backend, byte-identity points at --threads in
+ * {1, N, 2N} on a 2-channel machine (each point runs executors=1 as
+ * the in-point reference), then the fig8/fig11/mixedload comparison
+ * whose JSON export is committed as BENCH_backends.json. serialOnly:
+ * the fig8 points use the process-global span recorder.
+ */
+Sweep
+makeBackendsSweep()
+{
+    Sweep sweep{"backends", {}, /*serialOnly=*/true};
+    auto& p = sweep.points;
+    for (auto kind : {backend::BackendKind::Nvdimmc,
+                      backend::BackendKind::CxlHybrid,
+                      backend::BackendKind::Pmem}) {
+        const std::string tag = backend::toString(kind);
+        // channels=2: N = 2 (one executor per channel) and 2N = 4
+        // (only the media-split shard vector can absorb the extra
+        // executors on the hybrid transports; the pmem machine clamps
+        // to its channel count, which must stay byte-identical too).
+        for (std::uint32_t t : {2u, 4u}) {
+            p.push_back({tag + "/verify/2ch_t" + std::to_string(t),
+                         [kind, t] {
+                             return runBackendVerifyPoint(kind, 2, t);
+                         }});
+        }
+        p.push_back({tag + "/fig8/cached", [kind] {
+            return runBackendFig8Point(kind, false);
+        }});
+        p.push_back({tag + "/fig8/uncached", [kind] {
+            return runBackendFig8Point(kind, true);
+        }});
+        for (int q : {1, 6, 20}) {
+            p.push_back({tag + "/tpch/q" + std::to_string(q),
+                         [kind, q] {
+                             return runBackendTpchPoint(kind, q);
+                         }});
+        }
+        p.push_back({tag + "/mixedload/125users", [kind] {
+            return runBackendMixedloadPoint(kind);
+        }});
+    }
+    return sweep;
+}
+
+/**
  * Run every point of @p sweep on @p jobs worker threads. Points are
  * claimed from an atomic counter and results land in a slot indexed
  * by point, so the output order (and content) never depends on
@@ -915,7 +1240,7 @@ sweepMain(int argc, char** argv)
                  {makeAblationSweep(), makeVariantsSweep(),
                   makeCachePolicySweep(), makeChannelsSweep(),
                   makeParallelSweep(), makeLatencySweep(),
-                  makeFaultsSweep()}) {
+                  makeFaultsSweep(), makeBackendsSweep()}) {
                 for (const auto& point : sweep.points)
                     std::cout << sweep.name << "/" << point.name
                               << "\n";
@@ -925,7 +1250,7 @@ sweepMain(int argc, char** argv)
             std::cout
                 << "usage: sweep_runner"
                    " [--sweep ablation|variants|cache_policy|channels"
-                   "|parallel|latency|faults|all]\n"
+                   "|parallel|latency|faults|backends|all]\n"
                    "                    [--jobs N] [--json FILE]"
                    " [--verify] [--list]\n";
             return 0;
@@ -957,6 +1282,8 @@ sweepMain(int argc, char** argv)
         sweeps.push_back(makeLatencySweep());
     if (want("faults"))
         sweeps.push_back(makeFaultsSweep());
+    if (want("backends"))
+        sweeps.push_back(makeBackendsSweep());
     if (sweeps.empty())
         fatal("no sweep matches ", wanted.front());
 

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The NVDIMM-C transport: CP page over the standard DDR4 interface.
+ *
+ * This is the paper's §IV-C protocol, extracted verbatim from the nvdc
+ * driver so the host stack can swap transports: the driver composes a
+ * TransportOp, this backend encodes it as a CP command line, stores +
+ * clflushes it into the module's reserved area, and polls the ack line
+ * until the firmware (which only sees the command during a refresh
+ * window poll) reports completion. Per-channel CP index pools model
+ * the queue depth (1 on the PoC) that serializes the fault path.
+ *
+ * Ack semantics are the firmware's: a writeback ack means the victim's
+ * bytes were captured into the FPGA's power-safe buffer (the NAND
+ * program continues in the background), so durableOnAck holds.
+ */
+
+#ifndef NVDIMMC_BACKEND_NVDIMMC_BACKEND_HH
+#define NVDIMMC_BACKEND_NVDIMMC_BACKEND_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "backend/media_backend.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "cpu/cache_model.hh"
+#include "dram/channel_interleave.hh"
+#include "nvmc/cp_protocol.hh"
+
+namespace nvdimmc::nvmc
+{
+class Nvmc;
+}
+
+namespace nvdimmc::backend
+{
+
+/** Timing/depth knobs of the CP transport (driver-side constants). */
+struct NvdimmcBackendConfig
+{
+    Tick cpWriteCost = 300 * kNs;    ///< Compose + store CP command.
+    Tick ackPollInterval = 500 * kNs;
+    /** CP command indices the driver cycles per channel
+     *  (<= layout.maxCommands). */
+    std::uint32_t cpQueueDepth = 1;
+};
+
+struct NvdimmcBackendStats
+{
+    Counter ackPolls;
+};
+
+/** The CP-page-over-DDR4 + refresh-window-DMA transport. */
+class NvdimmcBackend : public MediaBackend
+{
+  public:
+    /** One reserved layout per module, channel order. CP lines are
+     *  addressed through @p cache_model at flat interleaved addresses
+     *  (page granule — the NVDIMM-C constraint). */
+    NvdimmcBackend(EventQueue& eq, cpu::CpuCacheModel& cache_model,
+                   const std::vector<const nvmc::ReservedLayout*>& layouts,
+                   const NvdimmcBackendConfig& cfg);
+
+    const BackendTraits& traits() const override { return traits_; }
+
+    void submit(std::uint32_t channel, const TransportOp& op,
+                Callback done) override;
+
+    /** Delegates to the attached module's flush-on-fail firmware dump
+     *  (0 when the channel has no NVMC attached). */
+    std::size_t powerFailFlush(std::uint32_t channel) override;
+
+    void registerStats(StatRegistry& reg,
+                       const std::string& prefix) const override;
+
+    /** Wire channel @p channel's NVMC in (for powerFailFlush). */
+    void attachNvmc(std::uint32_t channel, nvmc::Nvmc* nvmc);
+
+    const NvdimmcBackendStats& stats() const { return stats_; }
+
+  private:
+    /** @name CP channel (one command queue per module). */
+    /** @{ */
+    void acquireCpIndex(std::uint32_t channel,
+                        std::function<void(std::uint32_t)> granted);
+    void releaseCpIndex(std::uint32_t channel, std::uint32_t index);
+    void cpTransaction(std::uint32_t channel, nvmc::CpCommand cmd,
+                       Callback done);
+    void pollAck(std::uint32_t channel, std::uint32_t index,
+                 std::uint8_t phase, Callback done);
+    std::uint8_t nextPhase(std::uint32_t channel, std::uint32_t index);
+    /** @} */
+
+    /** Flat interleaved address of a channel-local DRAM address. */
+    Addr flatAddr(std::uint32_t channel, Addr local) const
+    {
+        return il_.flatten(channel, local);
+    }
+
+    EventQueue& eq_;
+    cpu::CpuCacheModel& cacheModel_;
+    std::vector<nvmc::ReservedLayout> layouts_;
+    NvdimmcBackendConfig cfg_;
+    BackendTraits traits_;
+
+    std::uint32_t channels_;
+    dram::ChannelInterleave il_;
+
+    std::vector<std::vector<std::uint32_t>> freeCpIndices_;
+    std::vector<std::deque<std::function<void(std::uint32_t)>>>
+        cpWaiters_;
+    std::vector<std::vector<std::uint8_t>> cpPhase_;
+
+    std::vector<nvmc::Nvmc*> nvmcs_;
+
+    NvdimmcBackendStats stats_;
+};
+
+} // namespace nvdimmc::backend
+
+#endif // NVDIMMC_BACKEND_NVDIMMC_BACKEND_HH

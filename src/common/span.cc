@@ -50,6 +50,10 @@ toString(Phase p)
       case Phase::FtlMap: return "ftl_map";
       case Phase::NandRead: return "nand_read";
       case Phase::NandProgram: return "nand_program";
+      case Phase::LinkWait: return "link_wait";
+      case Phase::LinkReq: return "link_req";
+      case Phase::DevCopy: return "dev_copy";
+      case Phase::LinkResp: return "link_resp";
       case Phase::Unattributed: return "unattributed";
     }
     return "?";
@@ -78,6 +82,11 @@ phaseTrack(Phase p)
       case Phase::NandRead:
       case Phase::NandProgram:
         return "span.znand";
+      case Phase::LinkWait:
+      case Phase::LinkReq:
+      case Phase::DevCopy:
+      case Phase::LinkResp:
+        return "span.link";
       default:
         return "span.driver";
     }

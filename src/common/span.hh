@@ -108,6 +108,11 @@ enum class Phase : std::uint8_t
     FtlMap,      ///< FTL lookup/allocate (incl. unmapped zero-read).
     NandRead,    ///< Z-NAND tR + channel transfer.
     NandProgram, ///< Z-NAND tPROG + channel transfer.
+    // Transport link (CXL.mem hybrid backend).
+    LinkWait, ///< Waiting for an outstanding-request credit.
+    LinkReq,  ///< Request flit crossing the link to the device.
+    DevCopy,  ///< Device-side copy between NAND buffer and DRAM slot.
+    LinkResp, ///< Response flit crossing the link back to the host.
     // Accounting residue.
     Unattributed, ///< Close-time gap past the last mark (audited).
 };

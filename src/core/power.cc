@@ -10,21 +10,24 @@ simulatePowerFailure(NvdimmcSystem& sys, const PowerFailureScenario& sc)
 {
     PowerFailureReport report;
 
-    bool any_nvmc = false;
-    for (std::uint32_t c = 0; c < sys.channelCount(); ++c)
-        if (sys.channel(c).nvmc())
-            any_nvmc = true;
-    if (!any_nvmc) {
-        warn("power failure on a system without an NVMC: nothing "
-             "can be dumped");
+    if (sys.transport().traits().kind ==
+        backend::BackendKind::Nvdimmc) {
+        bool any_nvmc = false;
+        for (std::uint32_t c = 0; c < sys.channelCount(); ++c)
+            if (sys.channel(c).nvmc())
+                any_nvmc = true;
+        if (!any_nvmc) {
+            warn("power failure on a system without an NVMC: nothing "
+                 "can be dumped");
+        }
     }
 
     // Every channel's module dies with the host; the ADR flush and the
-    // firmware dumps run on each channel and sum into the report.
+    // device-side energy-reserve dumps run on each channel and sum
+    // into the report. The transport knows what its device can save.
     auto dump_all = [&] {
         for (std::uint32_t c = 0; c < sys.channelCount(); ++c)
-            if (auto* nvmc = sys.channel(c).nvmc())
-                report.pagesDumped += nvmc->firmware().powerFailDump();
+            report.pagesDumped += sys.transport().powerFailFlush(c);
     };
     auto drain_wpqs = [&] {
         for (std::uint32_t c = 0; c < sys.channelCount(); ++c) {

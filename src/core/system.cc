@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "backend/nvdimmc_backend.hh"
 #include "common/logging.hh"
 
 namespace nvdimmc::core
@@ -13,18 +14,32 @@ namespace nvdimmc::core
 NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
 {
     NVDC_ASSERT(cfg_.channels >= 1, "system needs at least one channel");
-    if (cfg_.channels > 1 &&
+    NVDC_ASSERT(cfg_.backendKind != backend::BackendKind::Pmem,
+                "the pmem baseline is BaselineSystem, not a "
+                "NvdimmcSystem transport");
+    const bool is_cxl =
+        cfg_.backendKind == backend::BackendKind::CxlHybrid;
+    if (!is_cxl && cfg_.channels > 1 &&
         cfg_.interleaveGranule != dram::ChannelInterleave::kPageGranule) {
         // An NVDIMM-C module's NVMC can only DMA into its own DRAM, so
         // a cache slot must live whole on one channel: the DAX region
-        // always interleaves at page granularity.
+        // always interleaves at page granularity. The CXL device's
+        // copy engine has no such tie, so that backend keeps whatever
+        // granule the config asked for.
         warn("NvdimmcSystem: interleave granule ",
              cfg_.interleaveGranule,
              " unsupported with NVDIMM-C modules; clamping to 4096");
         cfg_.interleaveGranule = dram::ChannelInterleave::kPageGranule;
     }
+    if (is_cxl && cfg_.nvmcEnabled) {
+        // The CXL device answers over the link; there is no CP page
+        // for a module-side controller to poll.
+        warn("NvdimmcSystem: CXL backend ignores nvmcEnabled");
+        cfg_.nvmcEnabled = false;
+    }
 
-    if (cfg_.driver.cpQueueDepth != cfg_.nvmc.firmware.cpQueueDepth) {
+    if (!is_cxl &&
+        cfg_.driver.cpQueueDepth != cfg_.nvmc.firmware.cpQueueDepth) {
         warn("NvdimmcSystem: driver CP depth (",
              cfg_.driver.cpQueueDepth, ") != firmware CP depth (",
              cfg_.nvmc.firmware.cpQueueDepth,
@@ -63,8 +78,7 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
         imcs.push_back(&ch->imc());
     hostPort_ = std::make_unique<imc::HostPort>(
         std::move(imcs), dram::ChannelInterleave(
-                             cfg_.channels,
-                             dram::ChannelInterleave::kPageGranule));
+                             cfg_.channels, cfg_.interleaveGranule));
 
     cpuCache_ = std::make_unique<cpu::CpuCacheModel>(eq_, *hostPort_,
                                                      cfg_.cpuCache);
@@ -78,9 +92,36 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
         layouts.push_back(&ch->layout());
         backend_pages += ch->backend().pageCount();
     }
+
+    // The media transport sits between the driver's fault path and the
+    // per-channel devices; the system owns it so the config can swap
+    // the CP-over-DDR4 protocol for the CXL.mem link.
+    if (is_cxl) {
+        backend::CxlBackendConfig cxl_cfg = cfg_.cxl;
+        cxl_cfg.interleaveGranule = cfg_.interleaveGranule;
+        auto cxl_transport = std::make_unique<backend::CxlHybridBackend>(
+            eq_, *hostPort_, cxl_cfg);
+        for (std::uint32_t i = 0; i < channels_.size(); ++i)
+            cxl_transport->attachChannel(
+                i, sharded ? *shardQueues_[i] : eq_,
+                channels_[i]->dram(), channels_[i]->backend(),
+                channels_[i]->layout());
+        transport_ = std::move(cxl_transport);
+    } else {
+        auto nvdc_transport = std::make_unique<backend::NvdimmcBackend>(
+            eq_, *cpuCache_, layouts,
+            backend::NvdimmcBackendConfig{cfg_.driver.cpWriteCost,
+                                          cfg_.driver.ackPollInterval,
+                                          cfg_.driver.cpQueueDepth});
+        for (std::uint32_t i = 0; i < channels_.size(); ++i)
+            if (channels_[i]->nvmc())
+                nvdc_transport->attachNvmc(i, channels_[i]->nvmc());
+        transport_ = std::move(nvdc_transport);
+    }
+
     driver_ = std::make_unique<driver::NvdcDriver>(
         eq_, *cpuCache_, *engine_, std::move(layouts), backend_pages,
-        cfg_.driver);
+        cfg_.driver, transport_.get());
 
     if (sharded) {
         const Tick bound = quantumBound(cfg_);
@@ -141,9 +182,17 @@ Tick
 NvdimmcSystem::quantumBound(const SystemConfig& cfg)
 {
     Tick bound = cfg.hostLinkLatency;
-    // The driver cannot observe a CP ack faster than the compose +
-    // store cost of the command that provoked it.
-    bound = std::min(bound, cfg.driver.cpWriteCost);
+    if (cfg.backendKind == backend::BackendKind::CxlHybrid) {
+        // Transport messages cross the link one request latency out
+        // and return one response latency out; neither may land in a
+        // shard's past.
+        bound = std::min(bound, cfg.cxl.reqLatency);
+        bound = std::min(bound, cfg.cxl.respLatency);
+    } else {
+        // The driver cannot observe a CP ack faster than the compose +
+        // store cost of the command that provoked it.
+        bound = std::min(bound, cfg.driver.cpWriteCost);
+    }
     // Staggered refresh offsets neighbouring channels' tREFI clocks by
     // tREFI / N; windows must not blur that phase relationship.
     if (cfg.staggerRefresh && cfg.channels > 1)
@@ -453,20 +502,32 @@ BaselineSystem::BaselineSystem(const BaselineConfig& cfg) : cfg_(cfg)
                     cfg_.interleaveGranule ==
                         dram::ChannelInterleave::kLineGranule,
                 "baseline interleave granule must be 4096 or 256");
+    // Sharded (parallel-in-time) mode: every channel's DRAM, bus and
+    // iMC simulate on their own event queue; the CPU-side components
+    // stay on eq_. There is no device transport here, so the shard
+    // vector is just [ch0..chN-1].
+    const bool sharded = cfg_.threads >= 1;
+    if (sharded) {
+        shardQueues_.reserve(cfg_.channels);
+        for (std::uint32_t i = 0; i < cfg_.channels; ++i)
+            shardQueues_.push_back(std::make_unique<EventQueue>());
+    }
+
     for (std::uint32_t i = 0; i < cfg_.channels; ++i) {
+        EventQueue& ch_eq = sharded ? *shardQueues_[i] : eq_;
         maps_.push_back(
             std::make_unique<dram::AddressMap>(cfg.capacityBytes));
         drams_.push_back(std::make_unique<dram::DramDevice>(
             *maps_.back(), cfg.dramTiming, cfg.storeData, false));
         buses_.push_back(std::make_unique<bus::MemoryBus>(
-            eq_, *drams_.back(), false));
+            ch_eq, *drams_.back(), false));
 
         imc::ImcConfig imc_cfg = cfg.imc;
         imc_cfg.refresh = cfg.refresh;
         if (cfg_.channels > 1)
             imc_cfg.name = "ch" + std::to_string(i) + ".imc";
         imcs_.push_back(std::make_unique<imc::Imc>(
-            eq_, *buses_.back(), imc_cfg));
+            ch_eq, *buses_.back(), imc_cfg));
     }
 
     std::vector<imc::Imc*> imcs;
@@ -482,6 +543,96 @@ BaselineSystem::BaselineSystem(const BaselineConfig& cfg) : cfg_(cfg)
         eq_, *hostPort_, cpuCache_.get(), cfg.memcpy);
     driver_ = std::make_unique<driver::PmemDriver>(
         eq_, *engine_, cfg.capacityBytes * cfg_.channels, cfg.pmem);
+
+    if (sharded) {
+        // With no device transport the host link is the only
+        // cross-shard path, so its latency is the quantum bound.
+        const Tick bound = std::max<Tick>(cfg_.hostLinkLatency, 1);
+        const Tick quantum =
+            cfg_.quantumOverride ? cfg_.quantumOverride : bound;
+        if (quantum > bound) {
+            panic("sync quantum ", quantum,
+                  " exceeds the conservative cross-shard latency "
+                  "bound ", bound,
+                  " — a mailbox message could land in a shard's past");
+        }
+        unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        unsigned executors =
+            std::min({static_cast<unsigned>(cfg_.threads),
+                      static_cast<unsigned>(cfg_.channels), hw});
+
+        std::vector<EventQueue*> qs;
+        qs.reserve(shardQueues_.size());
+        for (auto& q : shardQueues_)
+            qs.push_back(q.get());
+        coord_ = std::make_unique<ShardCoordinator>(eq_, qs, quantum,
+                                                    executors);
+        eq_.setCoordinator(coord_.get());
+        hostPort_->enableSharding(*coord_, eq_, std::move(qs),
+                                  cfg_.hostLinkLatency,
+                                  cfg_.hostLinkDepth);
+        for (std::uint32_t i = 0; i < cfg_.channels; ++i)
+            coord_->setLink(i, ShardCoordinator::kToHost, quantum,
+                            hostPort_->lookaheadFn(i));
+    }
+}
+
+void
+BaselineSystem::registerStats(StatRegistry& reg) const
+{
+    if (coord_) {
+        // Metadata only (JSON "_meta"): text dumps must stay
+        // byte-identical across executor counts.
+        reg.setMeta("threads", coord_->executors());
+        reg.setMeta("shards",
+                    static_cast<double>(coord_->shardCount()));
+        reg.setMeta("executors", coord_->executors());
+        reg.setMeta("quantum_ticks",
+                    static_cast<double>(coord_->quantum()));
+    }
+
+    if (imcs_.size() == 1) {
+        drams_[0]->registerStats(reg, "dram");
+        buses_[0]->registerStats(reg, "bus");
+        imcs_[0]->registerStats(reg, "imc");
+    } else {
+        for (std::uint32_t i = 0; i < imcs_.size(); ++i) {
+            std::string p = "ch" + std::to_string(i) + ".";
+            drams_[i]->registerStats(reg, p + "dram");
+            buses_[i]->registerStats(reg, p + "bus");
+            imcs_[i]->registerStats(reg, p + "imc");
+        }
+        reg.add("dram.refreshes", [this] {
+            double v = 0;
+            for (const auto& d : drams_)
+                v += static_cast<double>(d->stats().refreshes.value());
+            return v;
+        });
+    }
+
+    cpuCache_->registerStats(reg, "cpu");
+    const auto& st = driver_->stats();
+    reg.addCounter("pmem.read_ops", st.readOps);
+    reg.addCounter("pmem.write_ops", st.writeOps);
+    reg.add("pmem.op_latency_mean_us",
+            [this] { return driver_->stats().latency.mean() / 1e6; });
+}
+
+void
+BaselineSystem::dumpStats(std::ostream& os) const
+{
+    StatRegistry reg;
+    registerStats(reg);
+    reg.dump(os);
+}
+
+void
+BaselineSystem::dumpStatsJson(std::ostream& os) const
+{
+    StatRegistry reg;
+    registerStats(reg);
+    reg.dumpJson(os);
 }
 
 } // namespace nvdimmc::core

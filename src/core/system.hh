@@ -24,6 +24,7 @@
 #include <ostream>
 #include <vector>
 
+#include "backend/media_backend.hh"
 #include "bus/memory_bus.hh"
 #include "common/event_queue.hh"
 #include "common/shard.hh"
@@ -88,6 +89,12 @@ class NvdimmcSystem
     cpu::CpuCacheModel& cpuCache() { return *cpuCache_; }
     cpu::MemcpyEngine& engine() { return *engine_; }
     driver::NvdcDriver& driver() { return *driver_; }
+    /** The media-transport backend the driver talks through. */
+    backend::MediaBackend& transport() { return *transport_; }
+    const backend::MediaBackend& transport() const
+    {
+        return *transport_;
+    }
     const SystemConfig& config() const { return cfg_; }
 
     /** @name Parallel-in-time execution (cfg.threads >= 1). */
@@ -163,6 +170,10 @@ class NvdimmcSystem
 
     std::unique_ptr<cpu::CpuCacheModel> cpuCache_;
     std::unique_ptr<cpu::MemcpyEngine> engine_;
+    /** Owned here (not by the driver) so the system can pick the
+     *  transport per cfg_.backendKind; declared before driver_, which
+     *  holds a non-owning pointer to it. */
+    std::unique_ptr<backend::MediaBackend> transport_;
     std::unique_ptr<driver::NvdcDriver> driver_;
 
     /** Declared last: its destructor joins the worker threads while
@@ -191,9 +202,18 @@ class BaselineSystem
 
     void run(Tick duration) { eq_.runFor(duration); }
 
+    /** Register every statistic (same layout rules as the NVDIMM-C
+     *  system: text dumps stay byte-identical across executor
+     *  counts; threads land in JSON "_meta" only). */
+    void registerStats(StatRegistry& reg) const;
+    void dumpStats(std::ostream& os) const;
+    void dumpStatsJson(std::ostream& os) const;
+
   private:
     BaselineConfig cfg_;
     EventQueue eq_;
+    /** Sharded mode only: one queue per channel. */
+    std::vector<std::unique_ptr<EventQueue>> shardQueues_;
     std::vector<std::unique_ptr<dram::AddressMap>> maps_;
     std::vector<std::unique_ptr<dram::DramDevice>> drams_;
     std::vector<std::unique_ptr<bus::MemoryBus>> buses_;
@@ -202,6 +222,10 @@ class BaselineSystem
     std::unique_ptr<cpu::CpuCacheModel> cpuCache_;
     std::unique_ptr<cpu::MemcpyEngine> engine_;
     std::unique_ptr<driver::PmemDriver> driver_;
+
+    /** Declared last: its destructor joins the worker threads while
+     *  every queue and component they touch is still alive. */
+    std::unique_ptr<ShardCoordinator> coord_;
 };
 
 } // namespace nvdimmc::core

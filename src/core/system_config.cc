@@ -17,6 +17,23 @@ SystemConfig::deriveScaled(std::uint64_t cacheBytes)
     return c;
 }
 
+SystemConfig&
+SystemConfig::applyCxlBackend()
+{
+    backendKind = backend::BackendKind::CxlHybrid;
+    // No CP page, no snooping controller: the device answers over the
+    // link, so the module-side NVMC never gets built.
+    nvmcEnabled = false;
+    // The extended tRFC exists only to widen the DMA windows the CXL
+    // device does not need; its internal DRAM refreshes normally.
+    refresh = dram::RefreshRegisters::standard();
+    imc.refresh = refresh;
+    // Nothing pins a cache slot to one module's DRAM anymore: stripe
+    // at the CXL line granule.
+    interleaveGranule = cxl.interleaveGranule;
+    return *this;
+}
+
 SystemConfig
 SystemConfig::paperPoc()
 {

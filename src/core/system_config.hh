@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+#include "backend/cxl_backend.hh"
+#include "backend/media_backend.hh"
 #include "cpu/cache_model.hh"
 #include "cpu/memcpy_engine.hh"
 #include "driver/nvdc_driver.hh"
@@ -103,6 +105,19 @@ struct SystemConfig
     dram::RefreshRegisters refresh = dram::RefreshRegisters::nvdimmc();
     /** @} */
 
+    /** @name Media transport.
+     * Which interface fronts the hybrid device. Nvdimmc is the
+     * paper's CP-over-DDR4 module; CxlHybrid swaps it for a
+     * CMM-H-style device behind a modeled CXL.mem link (no NVMC, no
+     * refresh windows, fine interleave allowed). BackendKind::Pmem is
+     * not valid here — the emulated-pmem baseline is BaselineSystem. */
+    /** @{ */
+    backend::BackendKind backendKind = backend::BackendKind::Nvdimmc;
+    /** Link/device model when backendKind == CxlHybrid (its
+     *  interleaveGranule is overridden by the system's). */
+    backend::CxlBackendConfig cxl;
+    /** @} */
+
     /** @name Backend. */
     /** @{ */
     MediaKind media = MediaKind::ZNand;
@@ -125,6 +140,16 @@ struct SystemConfig
     bool storeData = true;
     /** Abort on any bus conflict / DRAM protocol violation. */
     bool strictHardware = false;
+
+    /**
+     * Flip this config to the CXL.mem hybrid backend: no NVMC (no CP
+     * page, no refresh-window DMA), standard refresh registers (the
+     * extended tRFC exists only to widen windows), and the CXL line
+     * interleave granule. Media, cache and host knobs are preserved,
+     * so the result is the same device fronted by a different
+     * interface — the head-to-head the backend seam exists for.
+     */
+    SystemConfig& applyCxlBackend();
 
     /** Table I as evaluated. */
     static SystemConfig paperPoc();
@@ -155,6 +180,21 @@ struct BaselineConfig
     dram::Ddr4Timing dramTiming = dram::Ddr4Timing::ddr4_1600();
     /** Table I: the baseline RDIMM also ran with tRFC = 1250 ns. */
     dram::RefreshRegisters refresh = dram::RefreshRegisters::nvdimmc();
+
+    /** @name Parallel-in-time execution.
+     * Same contract as SystemConfig: threads = 0 keeps the classic
+     * serial kernel; threads >= 1 runs each channel as its own event
+     * shard (byte-identical for every threads >= 1), so the backends
+     * sweep can verify the pmem baseline the same way as the hybrid
+     * transports. */
+    /** @{ */
+    std::uint32_t threads = 0;
+    Tick hostLinkLatency = 200 * kNs;
+    std::uint32_t hostLinkDepth = 128;
+    /** Test knob: 0 = auto-derived quantum; larger than the bound
+     *  panics. */
+    Tick quantumOverride = 0;
+    /** @} */
     driver::PmemDriverConfig pmem;
     imc::ImcConfig imc;
     cpu::CpuCacheModel::Params cpuCache;

@@ -30,13 +30,13 @@
 #define NVDIMMC_DRIVER_NVDC_DRIVER_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "backend/media_backend.hh"
 #include "common/event_queue.hh"
 #include "common/sim_mutex.hh"
 #include "common/span.hh"
@@ -132,7 +132,6 @@ struct NvdcDriverStats
     Counter cachefills;
     Counter writebacks;
     Counter mergedCommands;
-    Counter ackPolls;
     Counter prefetchesIssued;
     Counter prefetchHits; ///< Demand faults absorbed by a prefetch.
     Histogram hitLatency;   ///< Per-segment, PTE-valid path.
@@ -154,20 +153,27 @@ class NvdcDriver
                cpu::MemcpyEngine& engine,
                const nvmc::ReservedLayout& layout,
                std::uint64_t backend_pages,
-               const NvdcDriverConfig& cfg);
+               const NvdcDriverConfig& cfg,
+               backend::MediaBackend* transport = nullptr);
 
     /**
      * Multi-channel constructor: one reserved layout per module (in
      * channel order) and the *total* device size across all modules.
      * Addresses handed to the CPU layer are flat interleaved addresses
-     * consistent with a page-granular ChannelInterleave over the same
-     * channel count.
+     * consistent with a ChannelInterleave over the same channel count
+     * at the transport's interleave granule.
+     *
+     * @param transport the media-transport backend the fault path
+     *        submits cachefills/writebacks through. Null builds the
+     *        classic internal NVDIMM-C CP transport (byte-identical
+     *        to the pre-seam driver).
      */
     NvdcDriver(EventQueue& eq, cpu::CpuCacheModel& cache_model,
                cpu::MemcpyEngine& engine,
                std::vector<const nvmc::ReservedLayout*> layouts,
                std::uint64_t backend_pages_total,
-               const NvdcDriverConfig& cfg);
+               const NvdcDriverConfig& cfg,
+               backend::MediaBackend* transport = nullptr);
 
     /** Device capacity in bytes (the /dev/nvdc0 size). */
     std::uint64_t capacityBytes() const
@@ -225,6 +231,12 @@ class NvdcDriver
     const DramCache& cache() const { return *caches_[0]; }
     PageTable& pageTable() { return pageTable_; }
     const NvdcDriverStats& stats() const { return stats_; }
+    /** The media-transport backend the fault path goes through. */
+    backend::MediaBackend& transport() { return *transport_; }
+    const backend::MediaBackend& transport() const
+    {
+        return *transport_;
+    }
 
     /** Register driver counters + hit/fault latency histograms under
      *  @p prefix, and the DRAM cache under @p prefix ".cache" (on a
@@ -265,6 +277,10 @@ class NvdcDriver
     void hypotheticalFault(std::shared_ptr<Segment> seg);
     void segmentMemcpy(std::shared_ptr<Segment> seg, std::uint32_t slot,
                        Callback done);
+    /** One granule-run of a fine-interleave segment memcpy. */
+    void segmentMemcpyChunk(std::shared_ptr<Segment> seg,
+                            std::uint32_t ch, Addr local,
+                            std::uint32_t off, Callback done);
     void finishHit(std::shared_ptr<Segment> seg);
     void finishFault(std::shared_ptr<Segment> seg);
     Tick postCost(const Segment& seg) const;
@@ -292,28 +308,19 @@ class NvdcDriver
     }
     /** @} */
 
-    /** Flush (or invalidate) every line of a slot, chained. */
+    /** Flush (or invalidate) every line of a slot, chained. Line
+     *  addresses are composed channel-locally so they stay correct at
+     *  any interleave granule. */
     void flushSlotLines(std::uint32_t channel, std::uint32_t slot,
                         Callback done);
-    void flushLinesFrom(Addr base, std::uint32_t line, Callback done);
+    void flushLinesFrom(std::uint32_t channel, std::uint32_t slot,
+                        std::uint32_t line, Callback done);
     void invalidateSlotLines(std::uint32_t channel, std::uint32_t slot,
                              Callback done);
 
     /** Write the metadata line covering @p slot into DRAM. */
     void writeMetadata(std::uint32_t channel, std::uint32_t slot,
                        Callback done);
-
-    /** @name CP channel (one command queue per module). */
-    /** @{ */
-    void acquireCpIndex(std::uint32_t channel,
-                        std::function<void(std::uint32_t)> granted);
-    void releaseCpIndex(std::uint32_t channel, std::uint32_t index);
-    void cpTransaction(std::uint32_t channel, nvmc::CpCommand cmd,
-                       Callback done);
-    void pollAck(std::uint32_t channel, std::uint32_t index,
-                 std::uint8_t phase, Callback done);
-    std::uint8_t nextPhase(std::uint32_t channel, std::uint32_t index);
-    /** @} */
 
     /** Complete a pending fill and wake waiters. */
     void fillCompleted(std::uint64_t dev_page);
@@ -330,9 +337,13 @@ class NvdcDriver
     std::uint64_t backendPages_;
     NvdcDriverConfig cfg_;
 
+    /** Internal default transport when none was injected. */
+    std::unique_ptr<backend::MediaBackend> ownedTransport_;
+    backend::MediaBackend* transport_;
+
     std::uint32_t channels_;
-    /** Page-granular interleave (slots never stripe across modules;
-     *  see dram/channel_interleave.hh). */
+    /** Interleave at the transport's granule (4 KiB for NVDIMM-C —
+     *  slots never stripe across modules; 256 B allowed for CXL). */
     dram::ChannelInterleave il_;
 
     std::vector<std::unique_ptr<DramCache>> caches_;
@@ -341,11 +352,6 @@ class NvdcDriver
     /** Blocks that have ever been written (or declared written via
      *  markEverWritten); reads of other blocks are zero-fills. */
     std::vector<bool> everWritten_;
-
-    std::vector<std::vector<std::uint32_t>> freeCpIndices_;
-    std::vector<std::deque<std::function<void(std::uint32_t)>>>
-        cpWaiters_;
-    std::vector<std::vector<std::uint8_t>> cpPhase_;
 
     /** Pages whose fill is in flight -> waiters to retry. */
     std::unordered_map<std::uint64_t, std::vector<Callback>>

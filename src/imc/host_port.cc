@@ -63,6 +63,28 @@ HostPort::lookaheadFn(std::uint32_t ch)
     };
 }
 
+void
+HostPort::postDevice(std::uint32_t ch, Tick delay, Callback fn)
+{
+    NVDC_ASSERT(coord_ != nullptr,
+                "postDevice is the sharded seam; schedule directly on "
+                "the shared queue in serial mode");
+    NVDC_ASSERT(delay >= coord_->quantum(),
+                "device message lead must cover the sync quantum");
+    ++shardStates_[ch].postedMsgs;
+    coord_->postToShard(ch, hostEq_->now() + delay, std::move(fn));
+}
+
+void
+HostPort::completeDevice(std::uint32_t ch, Tick delay, Callback done)
+{
+    NVDC_ASSERT(coord_ != nullptr,
+                "completeDevice is the sharded seam");
+    auto& st = shardStates_[ch];
+    ++st.completedMsgs;
+    coord_->postToHost(ch, st.eq->now() + delay, std::move(done));
+}
+
 imc::Callback
 HostPort::wrapDone(std::uint32_t ch, Callback done)
 {

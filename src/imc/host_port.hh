@@ -111,6 +111,26 @@ class HostPort
     bool sharded() const { return coord_ != nullptr; }
 
     /**
+     * @name Device-message seam (sharded mode only).
+     *
+     * A transport backend (e.g. the CXL link model) sends its own
+     * host<->device messages outside the line/bulk path. They must
+     * ride the same promise accounting as line ops, or the
+     * coordinator could advance the host past a response's arrival:
+     * postDevice() counts one owed host-bound message at post time,
+     * completeDevice() delivers it. Every postDevice() must be
+     * balanced by exactly one completeDevice() on the same channel.
+     */
+    /** @{ */
+    /** Host-side: run @p fn on channel @p ch's shard @p delay past
+     *  the host clock (@p delay >= the link latency / quantum). */
+    void postDevice(std::uint32_t ch, Tick delay, Callback fn);
+    /** Channel-side: run @p done on the host shard @p delay past the
+     *  channel clock, balancing one postDevice(). */
+    void completeDevice(std::uint32_t ch, Tick delay, Callback done);
+    /** @} */
+
+    /**
      * The channel->host link's adaptive-lookahead promise: kTickNever
      * while channel @p ch provably has nothing host-bound in flight —
      * every posted line op and bulk slice has already pushed its
