@@ -18,6 +18,10 @@
  *    a window's worth of pre-sorted messages admitted one heap push
  *    at a time vs as one staged batch (the coordinator's path), then
  *    drained interleaved with the queue's own churn.
+ *  - shape_*: scheduler-shape probes pinning down the timing wheel's
+ *    win/loss envelope — dense near-future (level-0 only), sparse
+ *    far-future (cascade-dominated), cancel-heavy (lazy deletion),
+ *    reschedule-heavy (in-place re-aiming).
  *
  * Every pattern reports events/sec via items_per_second. By default
  * the binary writes its results to BENCH_kernel.json in the working
@@ -159,6 +163,7 @@ runMailboxRounds(benchmark::State& state, bool batched,
                  std::uint64_t events)
 {
     const std::uint64_t kWindow = 256; // Messages per round.
+    std::uint64_t sbo = 0;
     for (auto _ : state) {
         EventQueue eq;
         std::uint64_t fired = 0;
@@ -194,7 +199,11 @@ runMailboxRounds(benchmark::State& state, bool batched,
         }
         eq.runAll();
         benchmark::DoNotOptimize(fired + churn);
+        sbo = eq.sboOverflows();
     }
+    // Callables that spilled the small-buffer inline storage (each one
+    // is a heap round-trip on the hot path; should stay 0).
+    state.counters["sbo_overflows"] = static_cast<double>(sbo);
     state.SetItemsProcessed(static_cast<std::int64_t>(events) *
                             state.iterations());
 }
@@ -211,12 +220,155 @@ BM_MailboxBatched(benchmark::State& state)
     runMailboxRounds(state, /*batched=*/true, 1'000'000);
 }
 
+// ---------------------------------------------------------------------
+// Scheduler-shape microbenches: each isolates one region of the timing
+// wheel's win/loss envelope so a future kernel change shows where it
+// moved the needle.
+// ---------------------------------------------------------------------
+
+/**
+ * Dense near-future: 512 events outstanding, every delay inside the
+ * wheel's level-0 block (< 64 ticks). The wheel's best case — O(1)
+ * bucket appends and FIFO drains, no cascades at all.
+ */
+void
+BM_ShapeDenseNear(benchmark::State& state)
+{
+    const std::uint64_t kOutstanding = 512;
+    const std::uint64_t kEvents = 1'000'000;
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        std::vector<std::function<void()>> steps(kOutstanding);
+        for (std::uint64_t i = 0; i < kOutstanding; ++i) {
+            steps[i] = [&, i] {
+                if (++fired < kEvents)
+                    eq.scheduleAfter(1 + (fired * 3 + i) % 61,
+                                     steps[i]);
+            };
+            eq.scheduleAfter(1 + i % 61, steps[i]);
+        }
+        eq.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(kEvents) *
+                            state.iterations());
+}
+
+/**
+ * Sparse far-future: a handful of events with multi-level deltas
+ * (64K–16M ticks), so nearly every dispatch jumps the clock across
+ * empty ranges and cascades entries down. The wheel's worst case —
+ * the occupancy bitmasks and lazy cascades are what keep it O(levels)
+ * instead of O(range).
+ */
+void
+BM_ShapeSparseFar(benchmark::State& state)
+{
+    const std::uint64_t kOutstanding = 16;
+    const std::uint64_t kEvents = 1'000'000;
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        std::vector<std::function<void()>> steps(kOutstanding);
+        for (std::uint64_t i = 0; i < kOutstanding; ++i) {
+            steps[i] = [&, i] {
+                if (++fired < kEvents) {
+                    Tick delta = Tick{65536}
+                                 << ((fired * 5 + i) % 9);
+                    eq.scheduleAfter(delta, steps[i]);
+                }
+            };
+            eq.scheduleAfter(65536 + i * 4096, steps[i]);
+        }
+        eq.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(kEvents) *
+                            state.iterations());
+}
+
+/**
+ * Cancel-heavy: 7 of 8 scheduled events are cancelled before they
+ * can fire (timeout guards). Generation-stamped lazy deletion is what
+ * keeps the cancels O(1); the dead entries surface (and are skipped)
+ * in bucket compaction.
+ */
+void
+BM_ShapeCancelHeavy(benchmark::State& state)
+{
+    const std::uint64_t kEvents = 1'000'000;
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        std::uint64_t scheduled = 0;
+        std::function<void()> step = [&] {
+            ++fired;
+            for (int g = 0; g < 7; ++g) {
+                EventId guard = eq.scheduleAfter(
+                    500 + g, [&fired] { fired += 1000; });
+                eq.cancel(guard);
+            }
+            if ((scheduled += 8) < kEvents)
+                eq.scheduleAfter(100, step);
+        };
+        eq.scheduleAfter(100, step);
+        eq.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(kEvents) *
+                            state.iterations());
+}
+
+/**
+ * Reschedule-heavy: 256 intrusive events each re-aimed (deschedule +
+ * schedule, new sequence number) several times per fire — the iMC
+ * wakeup pattern when commands keep arriving and push the next
+ * service tick out.
+ */
+void
+BM_ShapeRescheduleHeavy(benchmark::State& state)
+{
+    const std::uint64_t kEvents = 1'000'000;
+    const std::size_t kActors = 256;
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t fired = 0;
+        std::deque<PeriodicEvent> actors;
+        for (std::size_t i = 0; i < kActors; ++i) {
+            actors.emplace_back(eq, fired, kEvents,
+                                Tick{60 + 7 * (i % 11)});
+            eq.schedule(actors.back(), 1 + i);
+        }
+        std::uint64_t moved = 0;
+        while (fired < kEvents) {
+            eq.runFor(40);
+            // Re-aim a rotating subset mid-flight.
+            for (std::size_t k = 0; k < 32; ++k) {
+                auto& ev = actors[(moved + k * 8) % kActors];
+                if (ev.scheduled())
+                    eq.reschedule(ev, eq.now() + 30 +
+                                          (moved + k) % 50);
+            }
+            ++moved;
+        }
+        eq.runAll();
+        benchmark::DoNotOptimize(fired + moved);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(kEvents) *
+                            state.iterations());
+}
+
 BENCHMARK(BM_OneShotChain)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OneShotChurn4k)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ScheduleCancel)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IntrusivePeriodic)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MailboxSingle)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MailboxBatched)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShapeDenseNear)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShapeSparseFar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShapeCancelHeavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShapeRescheduleHeavy)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace nvdimmc::bench

@@ -406,7 +406,7 @@ struct ShardedRun
 ShardedRun
 runShardedFio(std::uint32_t channels, std::uint32_t threads,
               FioConfig::Pattern pattern, bool media_shards = true,
-              bool uncached = false)
+              bool uncached = false, Tick run_time = 0)
 {
     auto t0 = std::chrono::steady_clock::now();
     auto tweak = [=](core::SystemConfig& c) {
@@ -434,6 +434,8 @@ runShardedFio(std::uint32_t channels, std::uint32_t threads,
         cfg.rampTime = 2 * kMs;
         cfg.runTime = 25 * kMs;
     }
+    if (run_time)
+        cfg.runTime = run_time;
     ShardedRun run;
     run.fio = runFio(sys->eq(), nvdcAccess(*sys), cfg);
     std::ostringstream stats;
@@ -456,12 +458,14 @@ runShardedFio(std::uint32_t channels, std::uint32_t threads,
 PointResult
 runParallelVerifyPoint(std::uint32_t channels, std::uint32_t threads,
                        FioConfig::Pattern pattern,
-                       bool uncached = false)
+                       bool uncached = false, Tick run_time = 0)
 {
     ShardedRun ser = runShardedFio(channels, 1, pattern,
-                                   /*media_shards=*/true, uncached);
+                                   /*media_shards=*/true, uncached,
+                                   run_time);
     ShardedRun par = runShardedFio(channels, threads, pattern,
-                                   /*media_shards=*/true, uncached);
+                                   /*media_shards=*/true, uncached,
+                                   run_time);
     const bool ok = ser.fio.mbps == par.fio.mbps &&
                     ser.fio.kiops == par.fio.kiops &&
                     ser.fio.ops == par.fio.ops &&
@@ -484,15 +488,16 @@ runParallelVerifyPoint(std::uint32_t channels, std::uint32_t threads,
     return out;
 }
 
-/** One threads x channels scaling-matrix point. */
+/** One threads x channels scaling-matrix point. @p run_time shortens
+ *  the simulated window for wide machines (0 = the default 25 ms). */
 PointResult
 runParallelMatrixPoint(std::uint32_t channels, std::uint32_t threads,
                        bool media_shards = true,
-                       bool uncached = false)
+                       bool uncached = false, Tick run_time = 0)
 {
     ShardedRun run =
         runShardedFio(channels, threads, FioConfig::Pattern::RandRead,
-                      media_shards, uncached);
+                      media_shards, uncached, run_time);
     PointResult out = fioPoint(run.fio);
     out.metrics.emplace_back("channels",
                              static_cast<double>(channels));
@@ -539,6 +544,14 @@ makeParallelSweep()
         return runParallelVerifyPoint(
             2, 4, FioConfig::Pattern::RandRead, /*uncached=*/true);
     }});
+    // Byte-identity at campaign width: a 16-channel machine with a
+    // full-width executor vector must still replay the executors=1
+    // interleaving exactly (short window, same reason as matrix/).
+    p.push_back({"verify/16ch_t16", [] {
+        return runParallelVerifyPoint(
+            16, 16, FioConfig::Pattern::RandRead,
+            /*uncached=*/false, /*run_time=*/4 * kMs);
+    }});
     for (std::uint32_t n : {1u, 2u, 4u}) {
         std::vector<std::uint32_t> threads = {0u, 1u};
         if (n > 1)
@@ -549,6 +562,23 @@ makeParallelSweep()
                              std::to_string(t),
                          [n, t] {
                              return runParallelMatrixPoint(n, t);
+                         }});
+        }
+    }
+    // Wide-machine scaling study (16–64 channels): the per-simulated-ms
+    // event count grows with the channel count, so these points run a
+    // shorter simulated window — they exist to measure executor
+    // scaling on wide shard vectors, not to age the cache. Executor
+    // counts sample the ladder up to the channel count.
+    for (std::uint32_t n : {16u, 32u, 64u}) {
+        for (std::uint32_t t : {1u, 4u, n / 2, n}) {
+            p.push_back({"matrix/" + std::to_string(n) + "ch_t" +
+                             std::to_string(t),
+                         [n, t] {
+                             return runParallelMatrixPoint(
+                                 n, t, /*media_shards=*/true,
+                                 /*uncached=*/false,
+                                 /*run_time=*/4 * kMs);
                          }});
         }
     }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Warn-only kernel-bench regression guard.
+
+Compares a freshly generated google-benchmark JSON dump against the
+committed baseline and prints a GitHub Actions ::warning:: annotation
+for every benchmark whose items_per_second fell below a generous
+fraction of the baseline.
+
+Warn-only by design: CI runners are shared machines and the kernel
+microbenches are wall-clock measurements, so hard-failing on a
+slowdown would make CI flaky. The annotations put the number in the
+run summary where a reviewer can decide whether the drop is real
+(and regenerate the committed baseline on a quiet runner if it is).
+
+Usage:
+    check_bench_regression.py FRESH.json BASELINE.json [--tolerance F]
+
+Tolerance is the allowed fraction of the baseline (default 0.5: warn
+only when throughput halves). Exit code is always 0 unless the inputs
+are unreadable.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """Map benchmark name -> items_per_second from a google-benchmark
+    JSON dump. Aggregate entries (mean/median/stddev) are skipped so
+    repeated runs compare the raw samples."""
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        rate = b.get("items_per_second")
+        if rate:
+            # Keep the best sample per name: wall-clock noise only
+            # ever subtracts throughput.
+            name = b["name"]
+            rates[name] = max(rates.get(name, 0.0), rate)
+    return rates
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh", help="newly generated BENCH_kernel.json")
+    ap.add_argument("baseline", help="committed baseline json")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="warn when fresh < tolerance * baseline")
+    args = ap.parse_args()
+
+    try:
+        fresh = load_rates(args.fresh)
+        base = load_rates(args.baseline)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read bench json: {e}", file=sys.stderr)
+        return 1
+
+    warned = False
+    for name, base_rate in sorted(base.items()):
+        new_rate = fresh.get(name)
+        if new_rate is None:
+            print(f"::warning::bench {name}: present in baseline but "
+                  f"missing from fresh run")
+            warned = True
+            continue
+        if new_rate < args.tolerance * base_rate:
+            print(f"::warning::bench {name}: {new_rate / 1e6:.2f} M/s "
+                  f"vs baseline {base_rate / 1e6:.2f} M/s "
+                  f"({new_rate / base_rate:.0%}) — below the "
+                  f"{args.tolerance:.0%} warn threshold")
+            warned = True
+        else:
+            print(f"ok   {name}: {new_rate / 1e6:.2f} M/s "
+                  f"(baseline {base_rate / 1e6:.2f} M/s, "
+                  f"{new_rate / base_rate:.0%})")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"new  {name}: {fresh[name] / 1e6:.2f} M/s "
+              f"(no baseline yet)")
+    if not warned:
+        print("all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

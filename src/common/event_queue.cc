@@ -22,17 +22,161 @@ EventQueue::schedule(Event& ev, Tick when)
     ev.when_ = when;
     ev.seq_ = nextSeq_++;
     ev.sched_ = true;
-    heap_.push_back(HeapEntry{when, ev.seq_, &ev});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    enqueueEntry(when, ev.seq_, &ev);
     ++livePending_;
 }
 
-void
-EventQueue::skipDead()
+bool
+EventQueue::findWheelNextSlow(Tick bound, Tick& when_out,
+                              std::uint64_t& seq_out)
 {
-    while (!heap_.empty() && !live(heap_.front())) {
-        std::pop_heap(heap_.begin(), heap_.end(), Later{});
-        heap_.pop_back();
+    // Front slot first: while armed it is by construction <= every
+    // bucket entry, so no scan or cascade is needed at all.
+    if (haveFront_) {
+        if (live(front_)) {
+            focus_ = kFrontFocus;
+            memoValid_ = true;
+            memoWhen_ = front_.when;
+            memoSeq_ = front_.seq;
+            memoFocus_ = kFrontFocus;
+            when_out = front_.when;
+            seq_out = front_.seq;
+            return true;
+        }
+        haveFront_ = false;
+    }
+    focus_ = kNoFocus;
+    for (;;) {
+        // Current 64-tick block: every occupied bucket here covers a
+        // single tick and is already in seq order, so the first live
+        // entry at or past the drain cursor is the wheel minimum.
+        auto c0 = static_cast<std::uint32_t>(clock_) &
+                  (kSlotsPerLevel - 1);
+        std::uint64_t m = occ_[0] & (~std::uint64_t{0} << c0);
+        while (m) {
+            auto s = static_cast<std::uint32_t>(__builtin_ctzll(m));
+            Bucket& b = wheel_[0][s];
+            std::uint32_t& h = head0_[s];
+            while (h < b.size() && !live(b[h])) {
+                ++h;
+                --bucketCount_;
+            }
+            if (h < b.size()) {
+                focus_ = s;
+                memoValid_ = true;
+                memoWhen_ = b[h].when;
+                memoSeq_ = b[h].seq;
+                memoFocus_ = s;
+                when_out = b[h].when;
+                seq_out = b[h].seq;
+                return true;
+            }
+            b.clear();
+            h = 0;
+            occ_[0] &= ~(std::uint64_t{1} << s);
+            m &= m - 1;
+        }
+        // The block is exhausted: cascade the next occupied bucket,
+        // lowest level first (nested blocks make that earliest-first),
+        // then rescan. Each entry descends one level per cascade, so
+        // it is touched at most kLevels times in its lifetime.
+        bool cascaded = false;
+        for (int l = 1; l < kLevels && !cascaded; ++l) {
+            auto li = static_cast<std::size_t>(l);
+            auto cl = static_cast<std::uint32_t>(
+                (clock_ >> (kLevelBits * l)) & (kSlotsPerLevel - 1));
+            std::uint64_t ml = occ_[li] & (~std::uint64_t{0} << cl);
+            while (ml) {
+                auto s = static_cast<std::uint32_t>(
+                    __builtin_ctzll(ml));
+                Bucket& b = wheel_[li][s];
+                // Drop cancelled entries now; a dead-only bucket must
+                // not pull the clock forward.
+                std::size_t w = 0;
+                for (std::size_t r = 0; r < b.size(); ++r)
+                    if (live(b[r]))
+                        b[w++] = b[r];
+                bucketCount_ -= b.size() - w;
+                b.resize(w);
+                if (b.empty()) {
+                    occ_[li] &= ~(std::uint64_t{1} << s);
+                    ml &= ml - 1;
+                    continue;
+                }
+                Tick start = slotStart(l, s);
+                if (start > bound) {
+                    // The caller has not committed now() past bound,
+                    // so a later schedule() may still land before
+                    // this bucket: report its minimum (the bucket is
+                    // seq-ordered, so the first hit at the lowest
+                    // tick is the right tie-break) without moving
+                    // the clock.
+                    Tick bw = kTickNever;
+                    std::uint64_t bs = 0;
+                    for (const WheelEntry& e : b) {
+                        if (e.when < bw) {
+                            bw = e.when;
+                            bs = e.seq;
+                        }
+                    }
+                    when_out = bw;
+                    seq_out = bs;
+                    return true;
+                }
+                NVDC_DASSERT(start > clock_,
+                            "cascading an uncascaded current slot");
+                clock_ = start;
+                occ_[li] &= ~(std::uint64_t{1} << s);
+                bucketCount_ -= b.size();
+                for (const WheelEntry& e : b)
+                    pushEntry(e.when, e.seq, e.ev);
+                b.clear();
+                cascaded = true;
+                break;
+            }
+        }
+        if (!cascaded)
+            return false;
+    }
+}
+
+void
+EventQueue::fireFocused()
+{
+    NVDC_DASSERT(focus_ != kNoFocus, "firing without a focused entry");
+    memoValid_ = false;
+    WheelEntry e;
+    if (focus_ == kFrontFocus) {
+        e = front_;
+        haveFront_ = false;
+        // Leave clock_ alone: bucket entries pushed while the front
+        // was armed were placed relative to the lagging clock.
+    } else {
+        Bucket& b = wheel_[0][focus_];
+        e = b[head0_[focus_]];
+        ++head0_[focus_];
+        --bucketCount_;
+        clock_ = e.when;
+    }
+    focus_ = kNoFocus;
+    NVDC_DASSERT(e.when >= now_, "event in the past");
+    now_ = e.when;
+    e.ev->sched_ = false;
+    --livePending_;
+    ++fired_;
+    if (e.ev->oneShot_) {
+        // Pooled one-shot: skip the virtual dispatch and recycle the
+        // slot even if the callable throws (a panic propagating out
+        // of a test).
+        auto& ce = static_cast<CallbackEvent&>(*e.ev);
+        struct Recycle
+        {
+            CallbackEvent& ce;
+            ~Recycle() { ce.owner_.recycleCallback(ce); }
+        } guard{ce};
+        ce.call_(ce);
+    } else {
+        e.ev->process();
     }
 }
 
@@ -41,6 +185,10 @@ EventQueue::bestStage() const
 {
     std::size_t best = stages_.size();
     for (std::size_t i = 0; i < stages_.size(); ++i) {
+        // Drained stages linger only while a staged callback deeper
+        // in the stack is re-entering the dispatcher; skip them.
+        if (stages_[i].cursor == stages_[i].items.size())
+            continue;
         const TimedCallback& head = stages_[i].items[stages_[i].cursor];
         if (best == stages_.size())
             best = i;
@@ -56,52 +204,92 @@ EventQueue::bestStage() const
 }
 
 void
+EventQueue::collectStages()
+{
+    for (std::size_t i = stages_.size(); i-- > 0;) {
+        Stage& st = stages_[i];
+        if (st.cursor != st.items.size())
+            continue;
+        st.items.clear();
+        freeStageBufs_.push_back(std::move(st.items));
+        stages_.erase(stages_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    stagedDone_ = false;
+}
+
+void
 EventQueue::fireStaged(std::size_t si)
 {
     Stage& st = stages_[si];
     TimedCallback& it = st.items[st.cursor++];
-    NVDC_ASSERT(it.when >= now_, "event in the past");
+    NVDC_DASSERT(it.when >= now_, "event in the past");
     now_ = it.when;
     --livePending_;
     ++fired_;
-    // Detach the callable before touching stages_ again: the callback
-    // may re-enter scheduleBatch and invalidate references.
-    Callback fn = std::move(it.fn);
-    if (st.cursor == st.items.size()) {
-        st.items.clear();
-        freeStageBufs_.push_back(std::move(st.items));
-        stages_.erase(stages_.begin() +
-                      static_cast<std::ptrdiff_t>(si));
+    if (st.cursor == st.items.size())
+        stagedDone_ = true;
+    // Fire in place: the element buffer never moves (a re-entrant
+    // scheduleBatch moves the Stage object, not its items' storage),
+    // and recycling of drained stages is deferred until no staged
+    // callable is on the stack — so skipping the detach-move (and the
+    // per-message destructor that came with it) is safe even if the
+    // callback re-enters the dispatcher. Do not touch `st` after the
+    // call; stages_ may have grown.
+    {
+        struct Depth
+        {
+            std::uint32_t& d;
+            ~Depth() { --d; }
+        } depth{++stagedDepth_};
+        if (it.fn)
+            it.fn();
     }
-    if (fn)
-        fn();
+    if (stagedDepth_ == 0 && stagedDone_)
+        collectStages();
 }
 
 bool
-EventQueue::fireNext()
+EventQueue::fireNextBound(Tick limit, bool strict)
 {
-    skipDead();
+    Tick s_when = kTickNever;
+    std::uint64_t s_seq = 0;
+    std::size_t si = stages_.size();
     if (!stages_.empty()) {
-        std::size_t si = bestStage();
-        const TimedCallback& head = stages_[si].items[stages_[si].cursor];
-        if (heap_.empty() || head.when < heap_.front().when ||
-            (head.when == heap_.front().when &&
-             head.seq < heap_.front().seq)) {
-            fireStaged(si);
-            return true;
+        // One live batch in flight is the steady state (a shard
+        // drains its mailbox train before the next window lands).
+        if (stages_.size() == 1 &&
+            stages_[0].cursor < stages_[0].items.size()) {
+            si = 0;
+        } else {
+            si = bestStage();
+        }
+        if (si != stages_.size()) {
+            const TimedCallback& head =
+                stages_[si].items[stages_[si].cursor];
+            s_when = head.when;
+            s_seq = head.seq;
         }
     }
-    if (heap_.empty())
+    // The wheel clock must never pass the earliest staged tick either:
+    // if the staged lane fires first, a callback it runs may schedule
+    // before any tick the wheel skipped ahead to.
+    Tick bound = std::min(limit, s_when);
+    Tick w_when = kTickNever;
+    std::uint64_t w_seq = 0;
+    bool have_wheel = findWheelNext(bound, w_when, w_seq);
+    if (si != stages_.size() &&
+        (!have_wheel || s_when < w_when ||
+         (s_when == w_when && s_seq < w_seq))) {
+        if (strict ? s_when >= limit : s_when > limit)
+            return false;
+        fireStaged(si);
+        return true;
+    }
+    if (!have_wheel)
         return false;
-    HeapEntry top = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-    NVDC_ASSERT(top.when >= now_, "event in the past");
-    now_ = top.when;
-    top.ev->sched_ = false;
-    --livePending_;
-    ++fired_;
-    top.ev->process();
+    if (strict ? w_when >= limit : w_when > limit)
+        return false;
+    fireFocused();
     return true;
 }
 
@@ -148,11 +336,7 @@ EventQueue::runUntil(Tick when)
         return;
     }
     NVDC_ASSERT(when >= now_, "runUntil into the past");
-    for (;;) {
-        Tick t = peekNextTick();
-        if (t > when)
-            break;
-        fireNext();
+    while (fireNextBound(when, /*strict=*/false)) {
     }
     now_ = when;
 }
@@ -172,11 +356,25 @@ void
 EventQueue::runWindow(Tick end)
 {
     NVDC_ASSERT(end >= now_, "runWindow into the past");
-    for (;;) {
-        Tick t = peekNextTick();
-        if (t >= end)
-            break;
-        fireNext();
+    while (fireNextBound(end, /*strict=*/true)) {
+        // Amortized staged drain: with one batch in flight (the
+        // steady mailbox state) and the wheel minimum memoized, fire
+        // the staged run directly — the full dispatch compare is
+        // settled by three loads per message. Every condition is
+        // re-read each iteration, so a callback that lands a new
+        // batch, schedules an earlier event, or kills the memoized
+        // minimum drops us back to the slow path.
+        while (stages_.size() == 1 && memoValid_) {
+            Stage& st = stages_.front();
+            if (st.cursor == st.items.size())
+                break; // Drained; lingers only in re-entrant runs.
+            const TimedCallback& head = st.items[st.cursor];
+            if (head.when >= end || head.when > memoWhen_ ||
+                (head.when == memoWhen_ && head.seq > memoSeq_)) {
+                break;
+            }
+            fireStaged(0);
+        }
     }
     now_ = end;
 }
@@ -184,10 +382,16 @@ EventQueue::runWindow(Tick end)
 Tick
 EventQueue::peekNextTick()
 {
-    skipDead();
-    Tick t = heap_.empty() ? kTickNever : heap_.front().when;
+    Tick t = kTickNever;
+    std::uint64_t seq = 0;
+    // bound = now_: any clock advance stays at or below now(), which
+    // no later schedule() can undercut, so peeking commits nothing.
+    if (!findWheelNext(now_, t, seq))
+        t = kTickNever;
+    focus_ = kNoFocus;
     for (const Stage& st : stages_)
-        t = std::min(t, st.items[st.cursor].when);
+        if (st.cursor < st.items.size())
+            t = std::min(t, st.items[st.cursor].when);
     return t;
 }
 
@@ -198,33 +402,18 @@ EventQueue::cancel(EventId id)
     if (!ce)
         return;
     deschedule(*ce);
-    // Release the captured state now rather than when the stale heap
-    // record surfaces; the slot's generation bump retires the id.
+    // Release the captured state now rather than when the stale wheel
+    // entry surfaces; the slot's generation bump retires the id.
     recycleCallback(*ce);
 }
 
-EventQueue::CallbackEvent&
-EventQueue::allocCallback()
-{
-    if (freeSlots_.empty()) {
-        auto slot = static_cast<std::uint32_t>(pool_.size());
-        pool_.push_back(std::make_unique<CallbackEvent>(*this, slot));
-        freeSlots_.push_back(slot);
-    }
-    std::uint32_t slot = freeSlots_.back();
-    freeSlots_.pop_back();
-    return *pool_[slot];
-}
-
 void
-EventQueue::recycleCallback(CallbackEvent& ce)
+EventQueue::growCallbackPool()
 {
-    if (ce.destroy_)
-        ce.destroy_(ce);
-    ce.call_ = nullptr;
-    ce.destroy_ = nullptr;
-    ++ce.gen_;
-    freeSlots_.push_back(ce.slot_);
+    auto slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::make_unique<CallbackEvent>(*this, slot));
+    pool_.back()->oneShot_ = true;
+    freeSlots_.push_back(slot);
 }
 
 const EventQueue::CallbackEvent*
@@ -243,7 +432,7 @@ void
 EventQueue::CallbackEvent::process()
 {
     // Recycle even if the callable throws (a panic propagating out of
-    // a test); the stale heap record is skipped by the generation.
+    // a test); the stale wheel entry is skipped by the generation.
     struct Recycle
     {
         CallbackEvent& ce;

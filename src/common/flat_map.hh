@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Open-addressing hash map for integer keys on simulator hot paths.
+ *
+ * The driver's hottest lookups — DramCache's page->slot directory and
+ * PageTable's PTE map — are point queries on 64-bit page numbers:
+ * find/insert/erase only, never iterated. std::unordered_map pays a
+ * heap node and a pointer chase per entry there; this map stores
+ * key/value pairs inline in one power-of-two array with linear
+ * probing, so the common hit is one hash, one probe, one cache line.
+ *
+ * Design points:
+ *  - Multiplicative hashing (the splitmix64 finalizer) scrambles
+ *    sequential page numbers, which is exactly the adversarial shape
+ *    device pages come in.
+ *  - Backward-shift deletion instead of tombstones: erase compacts
+ *    the displaced run in place, so probe lengths never degrade with
+ *    workload age (the cache directory erases on every eviction).
+ *  - Max load factor 0.75, growth by doubling; a per-slot state byte
+ *    keeps the full 64-bit key space usable (no reserved sentinel —
+ *    page 0 is a legal key).
+ *
+ * Determinism: lookup results are value-identical to any map, and
+ * nothing here ever iterates, so replacing std::unordered_map with
+ * this cannot reorder simulated events (goldens stay byte-identical).
+ */
+
+#ifndef NVDIMMC_COMMON_FLAT_MAP_HH
+#define NVDIMMC_COMMON_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nvdimmc
+{
+
+/** Flat open-addressing map from std::uint64_t to @p V. */
+template <typename V>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** @return pointer to the mapped value, or nullptr. */
+    const V*
+    find(std::uint64_t key) const
+    {
+        if (size_ == 0)
+            return nullptr;
+        for (std::size_t i = indexFor(key);; i = next(i)) {
+            if (state_[i] == kEmpty)
+                return nullptr;
+            if (keys_[i] == key)
+                return &vals_[i];
+        }
+    }
+
+    V*
+    find(std::uint64_t key)
+    {
+        return const_cast<V*>(std::as_const(*this).find(key));
+    }
+
+    bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+    /** Insert @p key -> @p val, overwriting any existing mapping. */
+    void
+    insert_or_assign(std::uint64_t key, const V& val)
+    {
+        if ((size_ + 1) * 4 > capacity() * 3)
+            grow();
+        for (std::size_t i = indexFor(key);; i = next(i)) {
+            if (state_[i] == kEmpty) {
+                keys_[i] = key;
+                vals_[i] = val;
+                state_[i] = kFull;
+                ++size_;
+                return;
+            }
+            if (keys_[i] == key) {
+                vals_[i] = val;
+                return;
+            }
+        }
+    }
+
+    /** @return true iff @p key was present. */
+    bool
+    erase(std::uint64_t key)
+    {
+        if (size_ == 0)
+            return false;
+        std::size_t i = indexFor(key);
+        for (;; i = next(i)) {
+            if (state_[i] == kEmpty)
+                return false;
+            if (keys_[i] == key)
+                break;
+        }
+        // Backward-shift: walk the displaced run after the hole and
+        // pull back every entry whose home slot is on the hole's side,
+        // so probe chains stay gap-free without tombstones.
+        std::size_t hole = i;
+        for (std::size_t j = next(hole);; j = next(j)) {
+            if (state_[j] == kEmpty)
+                break;
+            std::size_t home = indexFor(keys_[j]);
+            // Entry j may move into the hole iff the hole lies within
+            // [home, j] in circular probe order.
+            bool movable = hole <= j ? (home <= hole || home > j)
+                                     : (home <= hole && home > j);
+            if (movable) {
+                keys_[hole] = keys_[j];
+                vals_[hole] = std::move(vals_[j]);
+                hole = j;
+            }
+        }
+        state_[hole] = kEmpty;
+        --size_;
+        return true;
+    }
+
+    /** Pre-size for @p n entries without rehash churn. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t want = kMinCapacity;
+        while (n * 4 > want * 3)
+            want *= 2;
+        if (want > capacity())
+            rehash(want);
+    }
+
+    void
+    clear()
+    {
+        state_.assign(state_.size(), kEmpty);
+        size_ = 0;
+    }
+
+  private:
+    static constexpr std::uint8_t kEmpty = 0;
+    static constexpr std::uint8_t kFull = 1;
+    static constexpr std::size_t kMinCapacity = 16;
+
+    std::size_t capacity() const { return state_.size(); }
+
+    /** splitmix64 finalizer: full-avalanche mix of the page number. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    std::size_t
+    indexFor(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(mix(key)) & (capacity() - 1);
+    }
+
+    std::size_t
+    next(std::size_t i) const
+    {
+        return (i + 1) & (capacity() - 1);
+    }
+
+    void
+    grow()
+    {
+        rehash(capacity() ? capacity() * 2 : kMinCapacity);
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        std::vector<std::uint8_t> old_state = std::move(state_);
+        keys_.assign(new_cap, 0);
+        vals_.assign(new_cap, V{});
+        state_.assign(new_cap, kEmpty);
+        size_ = 0;
+        for (std::size_t i = 0; i < old_state.size(); ++i) {
+            if (old_state[i] != kFull)
+                continue;
+            for (std::size_t j = indexFor(old_keys[i]);; j = next(j)) {
+                if (state_[j] != kEmpty)
+                    continue;
+                keys_[j] = old_keys[i];
+                vals_[j] = std::move(old_vals[i]);
+                state_[j] = kFull;
+                ++size_;
+                break;
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<V> vals_;
+    std::vector<std::uint8_t> state_;
+    std::size_t size_ = 0;
+};
+
+} // namespace nvdimmc
+
+#endif // NVDIMMC_COMMON_FLAT_MAP_HH

@@ -114,6 +114,21 @@ debugLog(Args&&... args)
         }                                                                   \
     } while (0)
 
+/**
+ * NVDC_ASSERT for per-event internal invariants on dispatch hot
+ * paths: active in debug builds, compiled out under NDEBUG. Use only
+ * for conditions no caller can trigger through the public API —
+ * API-contract checks stay NVDC_ASSERT so misuse panics in release
+ * builds too.
+ */
+#ifdef NDEBUG
+#define NVDC_DASSERT(cond, ...)                                             \
+    do {                                                                    \
+    } while (0)
+#else
+#define NVDC_DASSERT(cond, ...) NVDC_ASSERT(cond, __VA_ARGS__)
+#endif
+
 } // namespace nvdimmc
 
 #endif // NVDIMMC_COMMON_LOGGING_HH

@@ -22,26 +22,23 @@ DramCache::DramCache(std::uint32_t slot_count,
 std::optional<std::uint32_t>
 DramCache::lookup(std::uint64_t dev_page)
 {
-    auto it = pageToSlot_.find(dev_page);
-    if (it == pageToSlot_.end() ||
-        slots_[it->second].state != CacheSlot::State::Stable) {
+    const std::uint32_t* s = pageToSlot_.find(dev_page);
+    if (!s || slots_[*s].state != CacheSlot::State::Stable) {
         stats_.misses.inc();
         return std::nullopt;
     }
     stats_.hits.inc();
-    policy_->onAccess(it->second);
-    return it->second;
+    policy_->onAccess(*s);
+    return *s;
 }
 
 std::optional<std::uint32_t>
 DramCache::peek(std::uint64_t dev_page) const
 {
-    auto it = pageToSlot_.find(dev_page);
-    if (it == pageToSlot_.end() ||
-        slots_[it->second].state != CacheSlot::State::Stable) {
+    const std::uint32_t* s = pageToSlot_.find(dev_page);
+    if (!s || slots_[*s].state != CacheSlot::State::Stable)
         return std::nullopt;
-    }
-    return it->second;
+    return *s;
 }
 
 std::uint32_t
@@ -54,7 +51,7 @@ DramCache::allocate(std::uint64_t dev_page)
     slot.devPage = dev_page;
     slot.state = CacheSlot::State::Busy;
     slot.dirty = false;
-    pageToSlot_[dev_page] = s;
+    pageToSlot_.insert_or_assign(dev_page, s);
     return s;
 }
 
@@ -156,7 +153,7 @@ DramCache::rebind(std::uint32_t s, std::uint64_t dev_page)
                 "rebinding a non-busy slot");
     slot.devPage = dev_page;
     slot.dirty = false;
-    pageToSlot_[dev_page] = s;
+    pageToSlot_.insert_or_assign(dev_page, s);
 }
 
 void

@@ -13,9 +13,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "driver/replacement_policy.hh"
 
@@ -133,7 +133,7 @@ class DramCache
     /** Number of Stable slots (== entries the policy knows about). */
     std::uint32_t stableCount_ = 0;
     std::vector<std::uint32_t> freeList_;
-    std::unordered_map<std::uint64_t, std::uint32_t> pageToSlot_;
+    FlatMap<std::uint32_t> pageToSlot_;
     DramCacheStats stats_;
 };
 

@@ -11,8 +11,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 
 namespace nvdimmc::driver
@@ -26,21 +26,21 @@ class PageTable
     std::optional<std::uint32_t>
     translate(std::uint64_t dev_page) const
     {
-        auto it = map_.find(dev_page);
-        if (it == map_.end())
+        const std::uint32_t* slot = map_.find(dev_page);
+        if (!slot)
             return std::nullopt;
-        return it->second;
+        return *slot;
     }
 
     bool isMapped(std::uint64_t dev_page) const
     {
-        return map_.count(dev_page) != 0;
+        return map_.contains(dev_page);
     }
 
     void
     map(std::uint64_t dev_page, std::uint32_t slot)
     {
-        map_[dev_page] = slot;
+        map_.insert_or_assign(dev_page, slot);
         maps_.inc();
     }
 
@@ -57,7 +57,7 @@ class PageTable
     std::uint64_t totalUnmaps() const { return unmaps_.value(); }
 
   private:
-    std::unordered_map<std::uint64_t, std::uint32_t> map_;
+    FlatMap<std::uint32_t> map_;
     Counter maps_;
     Counter unmaps_;
 };

@@ -275,5 +275,193 @@ TEST(EventKernel, ShimAndIntrusiveRunsAreByteIdentical)
     EXPECT_NE(shim.find(":"), std::string::npos);
 }
 
+/**
+ * Differential fuzz: a random stream of schedule / cancel /
+ * reschedule / scheduleBatch / bounded-run operations executed on the
+ * timing wheel must dispatch in exactly the order a reference
+ * (tick, seq) min-scan produces. The reference mirrors the kernel's
+ * contract directly — one shared sequence counter stamped in program
+ * order, lazy cancellation, runUntil inclusive vs runWindow exclusive
+ * bounds — so any wheel bug (cascade ordering, front-slot demotion,
+ * memo staleness, bound handling) shows up as an order divergence.
+ */
+TEST(EventKernel, DifferentialFuzzAgainstReferenceOrder)
+{
+    struct RefEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        int label;
+        bool live;
+    };
+
+    for (std::uint64_t seed :
+         {std::uint64_t{1}, std::uint64_t{0xdeadbeef},
+          std::uint64_t{0x5eed5eed5eed}}) {
+        std::uint64_t rng = seed;
+        auto rnd = [&rng] {
+            rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+            return rng >> 11;
+        };
+
+        EventQueue eq;
+        std::vector<int> real_order, ref_order;
+        std::vector<RefEntry> entries;
+        Tick ref_now = 0;
+        std::uint64_t ref_seq = 1;
+
+        auto ref_best = [&]() -> std::size_t {
+            std::size_t best = entries.size();
+            for (std::size_t i = 0; i < entries.size(); ++i) {
+                if (!entries[i].live)
+                    continue;
+                if (best == entries.size() ||
+                    entries[i].when < entries[best].when ||
+                    (entries[i].when == entries[best].when &&
+                     entries[i].seq < entries[best].seq))
+                    best = i;
+            }
+            return best;
+        };
+        auto ref_run = [&](Tick until, bool strict) {
+            for (;;) {
+                std::size_t b = ref_best();
+                if (b == entries.size())
+                    break;
+                if (strict ? entries[b].when >= until
+                           : entries[b].when > until)
+                    break;
+                entries[b].live = false;
+                ref_order.push_back(entries[b].label);
+            }
+            ref_now = until;
+        };
+
+        // Cancelable one-shots: (id from the real queue, ref index).
+        std::vector<std::pair<EventId, std::size_t>> shots;
+        // Intrusive events that get rescheduled in place.
+        constexpr int kWrappers = 8;
+        std::vector<std::unique_ptr<EventFunctionWrapper>> wrappers;
+        std::size_t wrapper_ref[kWrappers];
+        for (int w = 0; w < kWrappers; ++w) {
+            wrappers.push_back(std::make_unique<EventFunctionWrapper>(
+                [&real_order, w] { real_order.push_back(10000 + w); },
+                "fuzz-wrapper"));
+            wrapper_ref[w] = ~std::size_t{0};
+        }
+
+        auto rand_delta = [&]() -> Tick {
+            switch (rnd() % 8) {
+            case 0:
+            case 1:
+            case 2:
+                return rnd() % 64; // In-block (level 0).
+            case 3:
+            case 4:
+                return rnd() % 4096; // Level-1 cascades.
+            case 5:
+                return rnd() % 262144; // Level-2 cascades.
+            case 6:
+                return rnd() % (Tick{1} << 30); // Deep levels.
+            default:
+                return 0; // Same-tick pileup.
+            }
+        };
+
+        int next_label = 0;
+        for (int op = 0; op < 1500; ++op) {
+            ASSERT_EQ(eq.now(), ref_now) << "seed " << seed;
+            switch (rnd() % 16) {
+            case 0:
+            case 1:
+            case 2:
+            case 3:
+            case 4:
+            case 5: { // One-shot schedule.
+                Tick when = ref_now + rand_delta();
+                int label = next_label++;
+                EventId id = eq.schedule(
+                    when, [&real_order, label] {
+                        real_order.push_back(label);
+                    });
+                entries.push_back({when, ref_seq++, label, true});
+                shots.push_back({id, entries.size() - 1});
+                break;
+            }
+            case 6:
+            case 7: { // Cancel (possibly already fired: no-op).
+                if (shots.empty())
+                    break;
+                auto& [id, ri] = shots[rnd() % shots.size()];
+                eq.cancel(id);
+                entries[ri].live = false;
+                break;
+            }
+            case 8:
+            case 9: { // Intrusive reschedule (in place).
+                int w = static_cast<int>(rnd() % kWrappers);
+                Tick when = ref_now + rand_delta();
+                eq.reschedule(*wrappers[static_cast<std::size_t>(w)],
+                              when);
+                if (wrapper_ref[w] != ~std::size_t{0})
+                    entries[wrapper_ref[w]].live = false;
+                entries.push_back({when, ref_seq++, 10000 + w, true});
+                wrapper_ref[w] = entries.size() - 1;
+                break;
+            }
+            case 10: { // Staged batch.
+                std::vector<EventQueue::TimedCallback> batch;
+                Tick at = ref_now + rnd() % 200;
+                std::size_t n = 1 + rnd() % 6;
+                for (std::size_t i = 0; i < n; ++i) {
+                    at += rnd() % 40;
+                    int label = next_label++;
+                    batch.push_back({at,
+                                     [&real_order, label] {
+                                         real_order.push_back(label);
+                                     },
+                                     0});
+                    entries.push_back({at, ref_seq++, label, true});
+                }
+                eq.scheduleBatch(batch);
+                break;
+            }
+            case 11: { // Peek must agree with the reference minimum.
+                std::size_t b = ref_best();
+                Tick want =
+                    b == entries.size() ? kTickNever : entries[b].when;
+                ASSERT_EQ(eq.peekNextTick(), want) << "seed " << seed;
+                break;
+            }
+            case 12:
+            case 13: { // Inclusive bounded run.
+                Tick until = ref_now + rnd() % 300;
+                eq.runUntil(until);
+                ref_run(until, /*strict=*/false);
+                break;
+            }
+            default: { // Exclusive window (the shard primitive).
+                Tick end = ref_now + rnd() % 300;
+                eq.runWindow(end);
+                ref_run(end, /*strict=*/true);
+                break;
+            }
+            }
+        }
+
+        eq.runAll();
+        for (;;) { // Drain the reference completely.
+            std::size_t b = ref_best();
+            if (b == entries.size())
+                break;
+            entries[b].live = false;
+            ref_order.push_back(entries[b].label);
+        }
+
+        ASSERT_EQ(real_order, ref_order) << "seed " << seed;
+        EXPECT_TRUE(eq.empty()) << "seed " << seed;
+    }
+}
+
 } // namespace
 } // namespace nvdimmc

@@ -437,6 +437,11 @@ TEST(Integration, MixedLoadValidatesWithoutCorruption)
     EXPECT_EQ(res.transactions, 16u * 6u);
     EXPECT_EQ(res.validationFailures, 0u);
     EXPECT_TRUE(sys->hardwareClean());
+    // Pooled-allocation audit: no simulator hot-path callable may
+    // spill EventQueue's small-buffer inline storage — a spill is a
+    // heap round-trip per event. If this fires, shrink the offending
+    // lambda's captures (see sboOverflows() in event_queue.hh).
+    EXPECT_EQ(sys->eq().sboOverflows(), 0u);
 }
 
 TEST(Integration, StreamAgingTestIsClean)
