@@ -23,6 +23,7 @@
 
 #include "bench_systems.hh"
 #include "common/span.hh"
+#include "common/telemetry.hh"
 #include "common/trace.hh"
 
 namespace nvdimmc::bench
@@ -70,6 +71,19 @@ report(benchmark::State& state, const workload::FioResult& res,
  *                       appending a JSON line to @p path (default
  *                       latency_breakdown.jsonl). Deterministic: the
  *                       output is byte-identical for every --threads.
+ *      --telemetry[=path]
+ *                       sample the deterministic time-series telemetry
+ *                       every 4 x tREFI of simulated time and append
+ *                       one JSONL series per benchmark (default
+ *                       telemetry.jsonl). Implies span recording (the
+ *                       windowed SLO percentiles ride on it). Output
+ *                       is byte-identical for every --threads >= 1.
+ *      --flight-dump[=path]
+ *                       arm the crash flight recorder (last-N spans +
+ *                       last-K telemetry intervals) and dump it at
+ *                       exit (default flight.json). It also dumps
+ *                       automatically on span-audit failure or fault
+ *                       campaign corruption.
  *      --trace-max-events=N
  *                       override the tracer's in-memory event cap.
  */
@@ -80,6 +94,10 @@ struct Observability
     std::string statsPath; ///< Empty = stats export off.
     bool breakdownOn = false;
     std::string breakdownPath = "latency_breakdown.jsonl";
+    bool telemetryOn = false;
+    std::string telemetryPath = "telemetry.jsonl";
+    bool flightOn = false;
+    std::string flightPath = "flight.json";
     std::uint64_t traceMaxEvents = 0; ///< 0 = tracer default.
 };
 
@@ -116,6 +134,16 @@ initObservability(int* argc, char** argv)
         } else if (std::strncmp(a, "--latency-breakdown=", 20) == 0) {
             obs.breakdownOn = true;
             obs.breakdownPath = a + 20;
+        } else if (std::strcmp(a, "--telemetry") == 0) {
+            obs.telemetryOn = true;
+        } else if (std::strncmp(a, "--telemetry=", 12) == 0) {
+            obs.telemetryOn = true;
+            obs.telemetryPath = a + 12;
+        } else if (std::strcmp(a, "--flight-dump") == 0) {
+            obs.flightOn = true;
+        } else if (std::strncmp(a, "--flight-dump=", 14) == 0) {
+            obs.flightOn = true;
+            obs.flightPath = a + 14;
         } else if (std::strncmp(a, "--trace-max-events=", 19) == 0) {
             obs.traceMaxEvents = std::strtoull(a + 19, nullptr, 10);
         } else if (std::strncmp(a, "--channels=", 11) == 0) {
@@ -145,10 +173,22 @@ initObservability(int* argc, char** argv)
         trace::start(obs.tracePath, obs.traceMaxEvents);
     if (obs.breakdownOn)
         span::enable();
+    if (obs.telemetryOn) {
+        // The windowed SLO percentiles drain the span layer's
+        // interval-reset histograms, so telemetry implies spans.
+        span::enable();
+        telemetry::enable();
+    }
+    if (obs.flightOn) {
+        span::enable(); // The span ring is the recorder's substrate.
+        telemetry::flightArm(obs.flightPath);
+    }
 }
 
-/** Append one {"bench": name, "stats": {...}} line to the stats
- *  JSONL file (no-op unless --stats was given). */
+/** Append one {"bench": name, "_meta": {...}, "stats": {...}} line
+ *  to the stats JSONL file (no-op unless --stats was given). The
+ *  _meta.schema_version stamp lets check_bench_regression.py refuse
+ *  cross-version comparisons instead of silently diffing. */
 inline void
 writeSystemStats(const std::string& name,
                  const core::NvdimmcSystem& sys)
@@ -159,7 +199,9 @@ writeSystemStats(const std::string& name,
     std::ofstream os(obs.statsPath, std::ios::app);
     if (!os)
         return;
-    os << "{\"bench\":\"" << name << "\",\"stats\":";
+    os << "{\"bench\":\"" << name
+       << "\",\"_meta\":{\"schema_version\":"
+       << telemetry::kSchemaVersion << "},\"stats\":";
     sys.dumpStatsJson(os);
     os << "}\n";
 }
@@ -176,9 +218,38 @@ writeSystemStats(const std::string& name, const BenchDevice& dev)
     if (!os)
         return;
     os << "{\"bench\":\"" << name << "\",\"backend\":\""
-       << backend::toString(benchBackend()) << "\",\"stats\":";
+       << backend::toString(benchBackend())
+       << "\",\"_meta\":{\"schema_version\":"
+       << telemetry::kSchemaVersion << "},\"stats\":";
     dev.dumpStatsJson(os);
     os << "}\n";
+}
+
+/** Append the system's telemetry series (header + one line per
+ *  interval) to the telemetry JSONL file (no-op unless --telemetry
+ *  was given). Call while the system is still alive, right after the
+ *  workload finishes. */
+inline void
+writeTelemetry(const std::string& name, core::NvdimmcSystem& sys)
+{
+    const Observability& obs = observability();
+    if (!obs.telemetryOn || !sys.telemetryCollector())
+        return;
+    std::ofstream os(obs.telemetryPath, std::ios::app);
+    if (os)
+        sys.telemetryCollector()->writeJsonl(os, name);
+}
+
+/** Same, for a backend-polymorphic device. */
+inline void
+writeTelemetry(const std::string& name, BenchDevice& dev)
+{
+    const Observability& obs = observability();
+    if (!obs.telemetryOn || !dev.telemetryCollector())
+        return;
+    std::ofstream os(obs.telemetryPath, std::ios::app);
+    if (os)
+        dev.telemetryCollector()->writeJsonl(os, name);
 }
 
 /**
@@ -205,12 +276,15 @@ writeLatencyBreakdown(const std::string& name)
     span::reset();
 }
 
-/** Flush the trace file (no-op unless --trace was given). */
+/** Flush the trace file and the armed flight recorder (no-ops
+ *  unless --trace / --flight-dump were given). */
 inline void
 finishObservability()
 {
     if (observability().traceOn)
         trace::stop();
+    if (observability().flightOn)
+        telemetry::flightDump("flag");
 }
 
 } // namespace nvdimmc::bench

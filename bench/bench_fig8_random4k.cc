@@ -66,6 +66,9 @@ BM_NvdcCached(benchmark::State& state, FioConfig::Pattern pattern,
         writeSystemStats(std::string("BM_NvdcCached/") +
                              patternTag(pattern),
                          dev);
+        writeTelemetry(std::string("BM_NvdcCached/") +
+                           patternTag(pattern),
+                       dev);
         writeLatencyBreakdown(std::string("BM_NvdcCached/") +
                               patternTag(pattern));
     }
@@ -91,6 +94,9 @@ BM_NvdcUncached(benchmark::State& state, FioConfig::Pattern pattern,
         writeSystemStats(std::string("BM_NvdcUncached/") +
                              patternTag(pattern),
                          dev);
+        writeTelemetry(std::string("BM_NvdcUncached/") +
+                           patternTag(pattern),
+                       dev);
         writeLatencyBreakdown(std::string("BM_NvdcUncached/") +
                               patternTag(pattern));
     }

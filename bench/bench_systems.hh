@@ -261,6 +261,14 @@ struct BenchDevice
         nvdc ? nvdc->dumpStatsJson(os) : pmem->dumpStatsJson(os);
     }
 
+    /** The active system's telemetry collector (null when telemetry
+     *  was off at construction). */
+    telemetry::Collector* telemetryCollector()
+    {
+        return nvdc ? nvdc->telemetryCollector()
+                    : pmem->telemetryCollector();
+    }
+
     /** Region an all-hit (cached) load should target. */
     std::pair<Addr, std::uint64_t> cachedRegion()
     {

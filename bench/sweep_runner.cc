@@ -19,6 +19,11 @@
  * deterministic: executors=1 and executors=N must export byte-identical
  * per-phase JSON, and the span auditor must pass on both runs.
  *
+ * The "telemetry" sweep proves the time-series telemetry export is
+ * deterministic: the same machine and workload at executors in
+ * {1, 2, N} must export byte-identical telemetry JSONL (interval
+ * ticks, exact-integer probe values, windowed SLO percentiles).
+ *
  * The "backends" sweep runs the media-transport seam's contract:
  * per-backend (nvdimmc, cxl, pmem) byte-identity verify points across
  * executor counts, plus the fig8/fig11/mixedload head-to-head whose
@@ -26,7 +31,8 @@
  *
  * Usage:
  *   sweep_runner [--sweep ablation|variants|cache_policy|channels
- *                        |parallel|latency|faults|backends|all]
+ *                        |parallel|latency|telemetry|faults|backends
+ *                        |all]
  *                [--jobs N] [--json FILE] [--verify] [--list]
  */
 
@@ -699,6 +705,179 @@ makeLatencySweep()
 }
 
 /**
+ * One telemetry measurement: the deterministic time-series layer on
+ * (which implies span recording — the windowed SLO percentiles drain
+ * the span layer), a workload, and the collector's full JSONL export
+ * as the result. The export label is fixed per point, so runs that
+ * differ only in executor count must produce byte-identical strings.
+ */
+struct TelemetryRun
+{
+    std::string jsonl;
+    std::uint64_t intervals = 0;
+    bool auditOk = false;
+};
+
+TelemetryRun
+finishTelemetryRun(core::NvdimmcSystem& sys, const char* label)
+{
+    TelemetryRun run;
+    run.auditOk = span::audit().ok();
+    std::ostringstream os;
+    sys.telemetryCollector()->writeJsonl(os, label);
+    run.jsonl = os.str();
+    run.intervals = sys.telemetryCollector()->records().size();
+    return run;
+}
+
+TelemetryRun
+runTelemetryFio(std::uint32_t channels, std::uint32_t threads,
+                bool uncached, const char* label)
+{
+    telemetry::enable();
+    span::enable();
+    span::reset();
+    auto tweak = [=](core::SystemConfig& c) {
+        c.channels = channels;
+        c.threads = threads;
+    };
+    std::unique_ptr<core::NvdimmcSystem> sys;
+    FioConfig cfg;
+    cfg.blockSize = 4096;
+    cfg.pattern = FioConfig::Pattern::RandRead;
+    if (uncached) {
+        sys = makeUncachedSystem(tweak);
+        auto [base, bytes] = uncachedRegion(*sys);
+        cfg.regionOffset = base;
+        cfg.regionBytes = bytes;
+        cfg.threads = 1;
+        cfg.rampTime = 2 * kMs;
+        cfg.runTime = 40 * kMs;
+    } else {
+        sys = makeCachedSystem(tweak);
+        cfg.regionBytes = cachedRegionBytes(*sys);
+        cfg.threads = 8;
+        cfg.rampTime = 2 * kMs;
+        cfg.runTime = 25 * kMs;
+    }
+    runFio(sys->eq(), nvdcAccess(*sys), cfg);
+    TelemetryRun run = finishTelemetryRun(*sys, label);
+    span::reset();
+    span::disable();
+    telemetry::disable();
+    return run;
+}
+
+TelemetryRun
+runTelemetryMixed(std::uint32_t threads, const char* label)
+{
+    telemetry::enable();
+    span::enable();
+    span::reset();
+    // Validation requires real bytes end to end: detailed memcpy.
+    auto sys = std::make_unique<core::NvdimmcSystem>(
+        benchSystemConfig([threads](core::SystemConfig& c) {
+            c.channels = 2;
+            c.threads = threads;
+            c.memcpy.bulkMode = false;
+        }));
+    workload::DataDevice dev;
+    dev.capacityBytes = sys->driver().capacityBytes();
+    dev.read = [&sys](Addr off, std::uint32_t len, std::uint8_t* buf,
+                      std::function<void()> done) {
+        sys->driver().read(off, len, buf, std::move(done));
+    };
+    dev.write = [&sys](Addr off, std::uint32_t len,
+                       const std::uint8_t* data,
+                       std::function<void()> done) {
+        sys->driver().write(off, len, data, std::move(done));
+    };
+    workload::MixedLoadConfig mc;
+    mc.users = 125;
+    mc.transactionsPerUser = 4;
+    mc.recordBytes = 4096;
+    mc.regionBytes = std::uint64_t{mc.users} * 32 * 4096;
+    workload::runMixedLoad(sys->eq(), dev, mc);
+    TelemetryRun run = finishTelemetryRun(*sys, label);
+    span::reset();
+    span::disable();
+    telemetry::disable();
+    return run;
+}
+
+/**
+ * Determinism proof for the telemetry export: the identical machine
+ * and workload run at executors in {1, 2, N} must produce
+ * byte-identical telemetry JSONL (same interval ticks, same
+ * exact-integer probe values, same windowed percentiles), and every
+ * run must pass the span auditor. The sample event rides the host
+ * queue, so it observes device state at the barrier-safe window edge
+ * regardless of executor count — this point is the enforcement.
+ */
+PointResult
+telemetryVerdict(const TelemetryRun& t1, const TelemetryRun& t2,
+                 const TelemetryRun& tn, std::uint32_t n)
+{
+    const bool identical = t1.jsonl == t2.jsonl && t1.jsonl == tn.jsonl;
+    PointResult out;
+    out.metrics = {
+        {"intervals", static_cast<double>(t1.intervals)},
+        {"audit_ok",
+         t1.auditOk && t2.auditOk && tn.auditOk ? 1.0 : 0.0},
+        {"threads_identical", identical ? 1.0 : 0.0},
+    };
+    if (!identical)
+        out.error = "telemetry JSONL diverged across executors=1/2/" +
+                    std::to_string(n);
+    else if (!t1.auditOk || !t2.auditOk || !tn.auditOk)
+        out.error = "span audit failed";
+    else if (t1.intervals == 0)
+        out.error = "telemetry recorded no intervals";
+    return out;
+}
+
+PointResult
+runTelemetryFioVerifyPoint(std::uint32_t channels, bool uncached,
+                           const char* label)
+{
+    const std::uint32_t n = channels * 2; // full media-split vector
+    TelemetryRun t1 = runTelemetryFio(channels, 1, uncached, label);
+    TelemetryRun t2 = runTelemetryFio(channels, 2, uncached, label);
+    TelemetryRun tn = runTelemetryFio(channels, n, uncached, label);
+    return telemetryVerdict(t1, t2, tn, n);
+}
+
+PointResult
+runTelemetryMixedVerifyPoint(const char* label)
+{
+    TelemetryRun t1 = runTelemetryMixed(1, label);
+    TelemetryRun t2 = runTelemetryMixed(2, label);
+    TelemetryRun t4 = runTelemetryMixed(4, label);
+    return telemetryVerdict(t1, t2, t4, 4);
+}
+
+Sweep
+makeTelemetrySweep()
+{
+    Sweep sweep{"telemetry", {}, /*serialOnly=*/true};
+    auto& p = sweep.points;
+    p.push_back({"verify/1ch_cached", [] {
+        return runTelemetryFioVerifyPoint(1, false, "fig8/1ch_cached");
+    }});
+    p.push_back({"verify/4ch_cached", [] {
+        return runTelemetryFioVerifyPoint(4, false, "fig8/4ch_cached");
+    }});
+    p.push_back({"verify/1ch_uncached", [] {
+        return runTelemetryFioVerifyPoint(1, true,
+                                          "fig8/1ch_uncached");
+    }});
+    p.push_back({"verify/mixedload", [] {
+        return runTelemetryMixedVerifyPoint("mixedload/125users");
+    }});
+    return sweep;
+}
+
+/**
  * One power-fail sweep point: cut at @p frac of the uncut run, replay
  * recovery, and prove the whole campaign byte-identical across
  * executor counts. Integrity (corrupt=0 with ADR) and determinism
@@ -1208,7 +1387,8 @@ writeJson(std::ostream& os,
           unsigned jobs)
 {
     os.precision(17);
-    os << "{\n  \"jobs\": " << jobs << ",\n  \"host_cores\": "
+    os << "{\n  \"schema_version\": " << telemetry::kSchemaVersion
+       << ",\n  \"jobs\": " << jobs << ",\n  \"host_cores\": "
        << std::thread::hardware_concurrency()
        << ",\n  \"sweeps\": [\n";
     for (std::size_t s = 0; s < all.size(); ++s) {
@@ -1270,7 +1450,8 @@ sweepMain(int argc, char** argv)
                  {makeAblationSweep(), makeVariantsSweep(),
                   makeCachePolicySweep(), makeChannelsSweep(),
                   makeParallelSweep(), makeLatencySweep(),
-                  makeFaultsSweep(), makeBackendsSweep()}) {
+                  makeTelemetrySweep(), makeFaultsSweep(),
+                  makeBackendsSweep()}) {
                 for (const auto& point : sweep.points)
                     std::cout << sweep.name << "/" << point.name
                               << "\n";
@@ -1280,7 +1461,7 @@ sweepMain(int argc, char** argv)
             std::cout
                 << "usage: sweep_runner"
                    " [--sweep ablation|variants|cache_policy|channels"
-                   "|parallel|latency|faults|backends|all]\n"
+                   "|parallel|latency|telemetry|faults|backends|all]\n"
                    "                    [--jobs N] [--json FILE]"
                    " [--verify] [--list]\n";
             return 0;
@@ -1310,6 +1491,8 @@ sweepMain(int argc, char** argv)
         sweeps.push_back(makeParallelSweep());
     if (want("latency"))
         sweeps.push_back(makeLatencySweep());
+    if (want("telemetry"))
+        sweeps.push_back(makeTelemetrySweep());
     if (want("faults"))
         sweeps.push_back(makeFaultsSweep());
     if (want("backends"))

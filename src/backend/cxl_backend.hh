@@ -107,6 +107,18 @@ class CxlHybridBackend : public MediaBackend
     void registerStats(StatRegistry& reg,
                        const std::string& prefix) const override;
 
+    /** Link credits in use (reads + writes) plus ops parked for a
+     *  credit, summed over channels. */
+    std::uint64_t queueDepth() const override
+    {
+        std::uint64_t depth = 0;
+        for (const auto& ch : channels_)
+            depth += (cfg_.maxPendingReads - ch.readCredits) +
+                     (cfg_.maxPendingWrites - ch.writeCredits) +
+                     ch.creditWaiters.size();
+        return depth;
+    }
+
     const CxlBackendStats& stats() const { return stats_; }
 
   private:

@@ -131,6 +131,15 @@ class MediaBackend
     /** Register backend counters under @p prefix. */
     virtual void registerStats(StatRegistry& reg,
                                const std::string& prefix) const = 0;
+
+    /**
+     * Transport ops currently in flight or queued for a transport
+     * resource, summed over channels — CP command slots in use plus
+     * waiters for the NVDIMM-C protocol, link credits in use plus
+     * credit waiters for CXL.mem. A telemetry gauge (DESIGN §9);
+     * backends without a bounded transport report 0.
+     */
+    virtual std::uint64_t queueDepth() const { return 0; }
 };
 
 } // namespace backend

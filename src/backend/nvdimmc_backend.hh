@@ -76,6 +76,17 @@ class NvdimmcBackend : public MediaBackend
     void registerStats(StatRegistry& reg,
                        const std::string& prefix) const override;
 
+    /** CP command slots in use plus ops parked for a free slot,
+     *  summed over modules. */
+    std::uint64_t queueDepth() const override
+    {
+        std::uint64_t depth = 0;
+        for (std::size_t ch = 0; ch < freeCpIndices_.size(); ++ch)
+            depth += cfg_.cpQueueDepth - freeCpIndices_[ch].size() +
+                     cpWaiters_[ch].size();
+        return depth;
+    }
+
     /** Wire channel @p channel's NVMC in (for powerFailFlush). */
     void attachNvmc(std::uint32_t channel, nvmc::Nvmc* nvmc);
 

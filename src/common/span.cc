@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/telemetry.hh"
 #include "common/trace.hh"
 
 namespace nvdimmc::span
@@ -115,6 +116,10 @@ struct ClassAgg
     std::uint64_t e2eSumPs = 0;
     std::array<Histogram, kPhaseCount> phases;
     std::array<std::uint64_t, kPhaseCount> phaseSumsPs{};
+    /** Interval-reset shadow of e2e: cleared by every drainWindow()
+     *  call (the telemetry sampling cadence). */
+    Histogram winE2e;
+    std::uint64_t winSumPs = 0;
 };
 
 struct Registry
@@ -234,6 +239,13 @@ closeImpl(Id id, Tick now)
     Tick e2e = now - s.openedAt;
     agg.e2e.record(e2e);
     agg.e2eSumPs += e2e;
+    agg.winE2e.record(e2e);
+    agg.winSumPs += e2e;
+    if (telemetry::flightArmed())
+        telemetry::flightRecordSpan(
+            static_cast<std::uint8_t>(s.cls),
+            static_cast<std::uint32_t>(id >> 48), s.openedAt, now,
+            e2e);
     for (std::uint32_t p = 0; p < kPhaseCount; ++p) {
         if (s.phaseTicks[p] == 0)
             continue;
@@ -292,6 +304,8 @@ reset()
         for (auto& h : agg.phases)
             h.reset();
         agg.phaseSumsPs.fill(0);
+        agg.winE2e.reset();
+        agg.winSumPs = 0;
     }
     r.windowWaitCap = 0;
     r.opened = 0;
@@ -321,17 +335,39 @@ windowWaitCap()
 AuditResult
 audit()
 {
+    AuditResult res;
+    {
+        detail::Registry& r = detail::reg();
+        std::lock_guard<std::mutex> lock(r.mu);
+        res.opened = r.opened;
+        res.closed = r.closed;
+        res.leaked = r.open.size();
+        res.unattributedSpans = r.unattributedSpans;
+        res.maxUnattributed = r.maxUnattributed;
+        res.orderViolations = r.orderViolations;
+        res.windowWaitViolations = r.windowWaitViolations;
+    }
+    // A failed audit is exactly the moment the flight recorder exists
+    // for: dump the last-N spans + last-K telemetry intervals before
+    // the harness aborts the run.
+    if (!res.ok() && telemetry::flightArmed())
+        telemetry::flightDump("span-audit");
+    return res;
+}
+
+void
+drainWindow(std::array<Histogram, kClassCount>& hist,
+            std::array<std::uint64_t, kClassCount>& sumPs)
+{
     detail::Registry& r = detail::reg();
     std::lock_guard<std::mutex> lock(r.mu);
-    AuditResult res;
-    res.opened = r.opened;
-    res.closed = r.closed;
-    res.leaked = r.open.size();
-    res.unattributedSpans = r.unattributedSpans;
-    res.maxUnattributed = r.maxUnattributed;
-    res.orderViolations = r.orderViolations;
-    res.windowWaitViolations = r.windowWaitViolations;
-    return res;
+    for (std::uint32_t c = 0; c < kClassCount; ++c) {
+        detail::ClassAgg& agg = r.agg[c];
+        hist[c] = agg.winE2e;
+        sumPs[c] = agg.winSumPs;
+        agg.winE2e.reset();
+        agg.winSumPs = 0;
+    }
 }
 
 std::uint64_t

@@ -46,10 +46,12 @@
 #ifndef NVDIMMC_COMMON_SPAN_HH
 #define NVDIMMC_COMMON_SPAN_HH
 
+#include <array>
 #include <cstdint>
 #include <ostream>
 #include <string>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace nvdimmc
@@ -219,6 +221,18 @@ AuditResult audit();
 /** Spans opened / closed so far (for tests). */
 std::uint64_t openedCount();
 std::uint64_t closedCount();
+
+/**
+ * Drain the *interval-reset* per-class end-to-end histograms: copy
+ * the e2e latency distribution of every span closed since the last
+ * drain (or reset()) into @p hist / @p sumPs, then clear the window.
+ * The telemetry Collector calls this once per sampling interval —
+ * the windowed-percentile (SLO) substrate. Closes run on the host
+ * shard in deterministic order, so consecutive drains at fixed
+ * sample ticks see identical windows for every executor count.
+ */
+void drainWindow(std::array<Histogram, kClassCount>& hist,
+                 std::array<std::uint64_t, kClassCount>& sumPs);
 
 /**
  * Register the per-class end-to-end and per-phase histograms under

@@ -176,6 +176,116 @@ NvdimmcSystem::NvdimmcSystem(const SystemConfig& cfg) : cfg_(cfg)
                                cfg_.mediaLinkLatency);
         }
     }
+
+    if (telemetry::enabled()) {
+        const Tick interval =
+            cfg_.telemetryIntervalTicks
+                ? cfg_.telemetryIntervalTicks
+                : telemetry::defaultInterval(cfg_.refresh.tREFI);
+        telemetry_ =
+            std::make_unique<telemetry::Collector>(eq_, interval);
+        registerTelemetry(*telemetry_);
+        telemetry_->start();
+    }
+}
+
+void
+NvdimmcSystem::registerTelemetry(telemetry::Collector& t)
+{
+    // Sampled on the host queue in registration order; registration
+    // order depends only on the config, never the executor count
+    // (the byte-identity contract, DESIGN §9).
+    driver::NvdcDriver* drv = driver_.get();
+    t.addGauge(
+        "nvdc.miss_queue_depth",
+        [drv] {
+            return static_cast<std::uint64_t>(
+                drv->pendingFillCount());
+        },
+        /*signal=*/true);
+    t.addGauge(
+        "nvdc.writeback_backlog",
+        [drv] {
+            return static_cast<std::uint64_t>(
+                drv->pendingWritebackCount());
+        },
+        /*signal=*/true);
+    t.addDelta("nvdc.page_faults", [drv] {
+        return drv->stats().pageFaults.value();
+    });
+    t.addDelta("nvdc.cachefills", [drv] {
+        return drv->stats().cachefills.value();
+    });
+    t.addDelta("nvdc.writebacks", [drv] {
+        return drv->stats().writebacks.value();
+    });
+    t.addGauge("imc.read_queue_depth", [this] {
+        std::uint64_t d = 0;
+        for (const auto& ch : channels_)
+            d += ch->imc().readQueueDepth();
+        return d;
+    });
+    t.addGauge("imc.wpq_depth", [this] {
+        std::uint64_t d = 0;
+        for (const auto& ch : channels_)
+            d += ch->imc().wpqDepth();
+        return d;
+    });
+    t.addGauge("host_link.credits_in_use", [this] {
+        return static_cast<std::uint64_t>(
+            hostPort_->linkCreditsInUse());
+    });
+    t.addGauge("backend.queue_depth",
+               [this] { return transport_->queueDepth(); });
+    t.addDelta("dram.refreshes", [this] {
+        std::uint64_t v = 0;
+        for (const auto& ch : channels_)
+            v += ch->dram().refreshCount();
+        return v;
+    });
+    if (cfg_.nvmcEnabled && channels_[0]->nvmc()) {
+        t.addDelta("nvmc.dma.bytes", [this] {
+            std::uint64_t v = 0;
+            for (const auto& ch : channels_)
+                v += ch->nvmc()->dma().stats().bytesMoved.value();
+            return v;
+        });
+        t.addDelta("nvmc.dma.busy_ticks", [this] {
+            std::uint64_t v = 0;
+            for (const auto& ch : channels_)
+                v += ch->nvmc()->dma().stats().busyTicks.value();
+            return v;
+        });
+        t.addDelta("nvmc.window_ticks", [this] {
+            std::uint64_t v = 0;
+            for (const auto& ch : channels_)
+                v += ch->nvmc()->windowTicksGranted();
+            return v;
+        });
+        t.addRatioPermille(
+            "nvmc.window.utilization_permille",
+            [this] {
+                std::uint64_t v = 0;
+                for (const auto& ch : channels_)
+                    v += ch->nvmc()->dma().stats().busyTicks.value();
+                return v;
+            },
+            [this] {
+                std::uint64_t v = 0;
+                for (const auto& ch : channels_)
+                    v += ch->nvmc()->windowTicksGranted();
+                return v;
+            },
+            /*signal=*/true);
+    }
+    if (channels_[0]->ftl()) {
+        t.addDelta("ftl.gc_relocations", [this] {
+            std::uint64_t v = 0;
+            for (const auto& ch : channels_)
+                v += ch->ftl()->stats().gcRelocations.value();
+            return v;
+        });
+    }
 }
 
 Tick
@@ -576,6 +686,50 @@ BaselineSystem::BaselineSystem(const BaselineConfig& cfg) : cfg_(cfg)
             coord_->setLink(i, ShardCoordinator::kToHost, quantum,
                             hostPort_->lookaheadFn(i));
     }
+
+    if (telemetry::enabled()) {
+        const Tick interval =
+            cfg_.telemetryIntervalTicks
+                ? cfg_.telemetryIntervalTicks
+                : telemetry::defaultInterval(cfg_.refresh.tREFI);
+        telemetry_ =
+            std::make_unique<telemetry::Collector>(eq_, interval);
+        registerTelemetry(*telemetry_);
+        telemetry_->start();
+    }
+}
+
+void
+BaselineSystem::registerTelemetry(telemetry::Collector& t)
+{
+    t.addGauge("imc.read_queue_depth", [this] {
+        std::uint64_t d = 0;
+        for (const auto& i : imcs_)
+            d += i->readQueueDepth();
+        return d;
+    });
+    t.addGauge("imc.wpq_depth", [this] {
+        std::uint64_t d = 0;
+        for (const auto& i : imcs_)
+            d += i->wpqDepth();
+        return d;
+    });
+    t.addGauge("host_link.credits_in_use", [this] {
+        return static_cast<std::uint64_t>(
+            hostPort_->linkCreditsInUse());
+    });
+    t.addDelta("dram.refreshes", [this] {
+        std::uint64_t v = 0;
+        for (const auto& d : drams_)
+            v += d->refreshCount();
+        return v;
+    });
+    t.addDelta("pmem.read_ops", [this] {
+        return driver_->stats().readOps.value();
+    });
+    t.addDelta("pmem.write_ops", [this] {
+        return driver_->stats().writeOps.value();
+    });
 }
 
 void

@@ -28,6 +28,7 @@
 #include "bus/memory_bus.hh"
 #include "common/event_queue.hh"
 #include "common/shard.hh"
+#include "common/telemetry.hh"
 #include "core/channel.hh"
 #include "core/system_config.hh"
 #include "cpu/cache_model.hh"
@@ -159,7 +160,19 @@ class NvdimmcSystem
     /** Dump the same statistics as one flat JSON object. */
     void dumpStatsJson(std::ostream& os) const;
 
+    /** The time-series collector, or null when telemetry was off at
+     *  construction. Sampling on the host queue, so its series is
+     *  byte-identical for every threads >= 1 (DESIGN §9). */
+    telemetry::Collector* telemetryCollector()
+    {
+        return telemetry_.get();
+    }
+
   private:
+    /** Register this system's probe set (construction-time, after
+     *  every component exists). */
+    void registerTelemetry(telemetry::Collector& t);
+
     SystemConfig cfg_;
     EventQueue eq_; ///< Host shard queue (the only queue when serial).
     /** Per-channel shard queues; empty on a classic serial system. */
@@ -175,6 +188,11 @@ class NvdimmcSystem
      *  holds a non-owning pointer to it. */
     std::unique_ptr<backend::MediaBackend> transport_;
     std::unique_ptr<driver::NvdcDriver> driver_;
+    /** Null unless telemetry::enabled() at construction. Declared
+     *  after every probed component (its getters read them), before
+     *  coord_ (the sampler must be descheduled while workers are
+     *  joined). */
+    std::unique_ptr<telemetry::Collector> telemetry_;
 
     /** Declared last: its destructor joins the worker threads while
      *  every queue and component they touch is still alive. */
@@ -209,7 +227,16 @@ class BaselineSystem
     void dumpStats(std::ostream& os) const;
     void dumpStatsJson(std::ostream& os) const;
 
+    /** The time-series collector, or null when telemetry was off at
+     *  construction. */
+    telemetry::Collector* telemetryCollector()
+    {
+        return telemetry_.get();
+    }
+
   private:
+    void registerTelemetry(telemetry::Collector& t);
+
     BaselineConfig cfg_;
     EventQueue eq_;
     /** Sharded mode only: one queue per channel. */
@@ -222,6 +249,8 @@ class BaselineSystem
     std::unique_ptr<cpu::CpuCacheModel> cpuCache_;
     std::unique_ptr<cpu::MemcpyEngine> engine_;
     std::unique_ptr<driver::PmemDriver> driver_;
+    /** Null unless telemetry::enabled() at construction. */
+    std::unique_ptr<telemetry::Collector> telemetry_;
 
     /** Declared last: its destructor joins the worker threads while
      *  every queue and component they touch is still alive. */

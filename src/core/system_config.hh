@@ -134,6 +134,12 @@ struct SystemConfig
     cpu::CpuCacheModel::Params cpuCache;
     cpu::MemcpyParams memcpy;
 
+    /** Telemetry sampling cadence in ticks when telemetry::enabled();
+     *  0 = telemetry::defaultInterval (4 x tREFI). Samples fire on
+     *  the host queue, so the series is byte-identical for every
+     *  threads >= 1 (DESIGN §9). */
+    Tick telemetryIntervalTicks = 0;
+
     /** Build the NVMC at all (off for the hypothetical device). */
     bool nvmcEnabled = true;
     /** Keep actual bytes in DRAM/NAND (tests on; big benches off). */
@@ -195,6 +201,8 @@ struct BaselineConfig
      *  panics. */
     Tick quantumOverride = 0;
     /** @} */
+    /** Telemetry sampling cadence; same contract as SystemConfig. */
+    Tick telemetryIntervalTicks = 0;
     driver::PmemDriverConfig pmem;
     imc::ImcConfig imc;
     cpu::CpuCacheModel::Params cpuCache;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "core/power.hh"
 #include "core/system.hh"
 #include "core/system_config.hh"
@@ -164,6 +165,10 @@ runPowerFailCampaign(const PowerFailCampaignConfig& cfg)
     fp.add(res.wpqFlushed);
     fp.add(res.wpqLost);
     res.fingerprint = fp.hex();
+    // Corrupt committed records after recovery are the black-box
+    // moment: dump the flight recorder before the harness reports.
+    if (res.corruptRecords > 0 && telemetry::flightArmed())
+        telemetry::flightDump("fault-corruption");
     return res;
 }
 
@@ -243,6 +248,8 @@ runMediaFaultCampaign(const MediaFaultCampaignConfig& cfg)
     for (std::uint64_t b = 0; b < nand.params().totalBlocks(); ++b)
         fp.add(nand.eraseCount(b));
     res.fingerprint = fp.hex();
+    if (res.silentCorruptions > 0 && telemetry::flightArmed())
+        telemetry::flightDump("fault-corruption");
     return res;
 }
 
@@ -406,6 +413,9 @@ runAgeingCampaign(const AgeingCampaignConfig& cfg)
     fp.add(res.silentCorruptions);
     fp.add(res.checkpointDeterministic ? 1 : 0);
     res.fingerprint = fp.hex();
+    if ((res.silentCorruptions > 0 || !res.checkpointDeterministic) &&
+        telemetry::flightArmed())
+        telemetry::flightDump("fault-corruption");
     return res;
 }
 

@@ -110,6 +110,22 @@ class HostPort
     /** Is sharded routing enabled? */
     bool sharded() const { return coord_ != nullptr; }
 
+    /** Host-link credits consumed (line ops posted to channel
+     *  @p ch but not yet accepted by its iMC), summed over all
+     *  channels when @p ch is ~0u. 0 in classic (non-sharded) mode,
+     *  where there is no posted link buffer. A telemetry gauge; read
+     *  from the host shard only. */
+    std::uint32_t linkCreditsInUse(std::uint32_t ch = ~0u) const
+    {
+        if (!coord_)
+            return 0;
+        std::uint32_t used = 0;
+        for (std::uint32_t i = 0; i < shardStates_.size(); ++i)
+            if (ch == ~0u || ch == i)
+                used += linkDepth_ - shardStates_[i].credits;
+        return used;
+    }
+
     /**
      * @name Device-message seam (sharded mode only).
      *
